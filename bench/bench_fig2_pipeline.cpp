@@ -1,0 +1,38 @@
+// Reproduces Fig. 2: the three-iteration instrumented compile flow.
+// For each app: per-iteration source line counts and image sizes (the
+// paper's red/blue growth), plus the convergence property (iteration 3
+// is a fixpoint).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace eilid;
+using namespace eilid::bench;
+
+int main() {
+  std::printf("Fig. 2: EILID instrumented compilation (three iterations)\n");
+  std::printf("%-18s | %-21s | %-21s | %-21s | %s\n", "Software",
+              "build 1 (original)", "build 2 (stale addrs)",
+              "build 3 (final)", "converged");
+  std::printf("%-18s | %10s %10s | %10s %10s | %10s %10s |\n", "", "lines",
+              "bytes", "lines", "bytes", "lines", "bytes");
+  print_rule(110);
+  for (const auto& app : apps::table4_apps()) {
+    core::BuildResult build = core::build_app(app.source, app.name);
+    if (build.iterations.size() != 3) {
+      std::printf("%-18s | unexpected iteration count %zu\n", app.name.c_str(),
+                  build.iterations.size());
+      return 1;
+    }
+    const auto& it = build.iterations;
+    std::printf("%-18s | %10zu %10zu | %10zu %10zu | %10zu %10zu | %s\n",
+                app.name.c_str(), it[0].source_lines, it[0].image_bytes,
+                it[1].source_lines, it[1].image_bytes, it[2].source_lines,
+                it[2].image_bytes, build.converged ? "yes" : "NO");
+  }
+  std::printf(
+      "\nIterations 2 and 3 have identical layout (only embedded numeric\n"
+      "return addresses differ), which is why the third build's .lst is\n"
+      "final -- exactly the paper's argument for stopping at three.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table III: the general-purpose registers EILID reserves
+// and their roles, cross-checked against the generated EILIDsw ROM
+// (every reserved register must actually appear in the trusted code;
+// no other general-purpose register may be clobbered by it).
+#include <cstdio>
+#include <string>
+
+#include "src/eilid/config.h"
+#include "src/eilid/rom_builder.h"
+
+using namespace eilid::core;
+
+int main() {
+  std::printf("Table III: reserved registers for EILID\n");
+  std::printf("%-10s %s\n", "Registers", "Description");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("%-10s %s\n", "r4",
+              "Used as the S_EILID function selector (argument of "
+              "S_EILID_init())");
+  std::printf("%-10s %s\n", "r5",
+              "Used as a pointer to the shadow stack's current index");
+  std::printf("%-10s %s\n", "r6, r7",
+              "Used as arguments of other S_EILID functions");
+
+  // Cross-check against the generated trusted software.
+  std::string rom = generate_rom_source(RomConfig{});
+  auto uses = [&](const std::string& reg) {
+    return rom.find(reg) != std::string::npos;
+  };
+  std::printf("\ncross-check vs generated EILIDsw:\n");
+  std::printf("  r4 used: %s, r5 used: %s, r6 used: %s, r7 used: %s\n",
+              uses("r4") ? "yes" : "NO", uses("r5") ? "yes" : "NO",
+              uses("r6") ? "yes" : "NO", uses("r7") ? "yes" : "NO");
+  bool clean = true;
+  for (int r = 8; r <= 15; ++r) {
+    if (uses("r" + std::to_string(r))) {
+      std::printf("  UNEXPECTED: ROM touches r%d\n", r);
+      clean = false;
+    }
+  }
+  std::printf("  r8..r15 untouched by EILIDsw: %s\n", clean ? "yes" : "NO");
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Reproduces Table IV: EILID software overhead (compile time, binary
+// size, running time) for the seven evaluation applications, original
+// vs EILID-instrumented, with per-app and average percentages.
+//
+// Expected shape (paper, openMSP430 @ Basys3): compile time +26..44 %
+// (driven by the three-iteration build), binary size +5..22 %, running
+// time +2.6..13.2 %, averages 34.30 % / 10.78 % / 7.35 %. Absolute
+// values differ (host machine; simulated 8 MHz clock) -- see
+// EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace eilid;
+using namespace eilid::bench;
+
+int main() {
+  std::printf("Table IV: EILID software overhead (7 applications)\n");
+  std::printf("%-18s | %-26s | %-24s | %-28s\n", "Software",
+              "Compile-time (ms)", "Binary size (bytes)", "Running time (us)");
+  std::printf("%-18s | %8s %8s %7s | %7s %7s %7s | %9s %9s %7s\n", "",
+              "orig", "eilid", "diff%", "orig", "eilid", "diff%", "orig",
+              "eilid", "diff%");
+  print_rule(110);
+
+  double sum_compile = 0, sum_size = 0, sum_time = 0;
+  int n = 0;
+  for (const auto& app : apps::table4_apps()) {
+    AppRun orig = run_app(app, /*eilid=*/false);
+    AppRun inst = run_app(app, /*eilid=*/true);
+    double c_orig = measure_compile_ms(app, false);
+    double c_inst = measure_compile_ms(app, true);
+
+    if (!orig.reached_halt || !inst.reached_halt || orig.violations ||
+        inst.violations) {
+      std::printf("%-18s | RUN FAILED (halt=%d/%d violations=%zu/%zu)\n",
+                  app.name.c_str(), orig.reached_halt, inst.reached_halt,
+                  orig.violations, inst.violations);
+      continue;
+    }
+
+    double dc = pct(c_orig, c_inst);
+    double ds = pct(static_cast<double>(orig.binary_size),
+                    static_cast<double>(inst.binary_size));
+    double dt = pct(orig.micros, inst.micros);
+    sum_compile += dc;
+    sum_size += ds;
+    sum_time += dt;
+    ++n;
+
+    std::printf(
+        "%-18s | %8.3f %8.3f %6.2f%% | %7zu %7zu %6.2f%% | %9.1f %9.1f "
+        "%6.2f%%\n",
+        app.name.c_str(), c_orig, c_inst, dc, orig.binary_size,
+        inst.binary_size, ds, orig.micros, inst.micros, dt);
+  }
+  print_rule(110);
+  if (n > 0) {
+    std::printf("%-18s | %8s %8s %6.2f%% | %7s %7s %6.2f%% | %9s %9s %6.2f%%\n",
+                "Average overhead", "", "", sum_compile / n, "", "",
+                sum_size / n, "", "", sum_time / n);
+  }
+  std::printf(
+      "\npaper averages: compile +34.30%%, binary +10.78%%, runtime +7.35%%\n");
+  return 0;
+}

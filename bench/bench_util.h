@@ -1,0 +1,73 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+#ifndef EILID_BENCH_BENCH_UTIL_H
+#define EILID_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "eilid/device.h"
+#include "eilid/pipeline.h"
+
+namespace eilid::bench {
+
+struct AppRun {
+  size_t binary_size = 0;
+  uint64_t cycles = 0;
+  double micros = 0.0;
+  size_t violations = 0;
+  bool reached_halt = false;
+};
+
+// Build (original or EILID) and run one Table IV app to its halt label.
+inline AppRun run_app(const apps::AppSpec& app, bool eilid,
+                      core::BuildOptions options = {}) {
+  options.eilid = eilid;
+  core::BuildResult build = core::build_app(app.source, app.name, options);
+  core::Device device(build);
+  app.setup(device.machine());
+  auto run = device.run_to_symbol("halt", 8 * app.cycle_budget);
+  AppRun out;
+  out.binary_size = build.binary_size();
+  out.cycles = run.cycles;
+  out.micros = device.machine().micros(run.cycles);
+  out.violations = device.machine().violation_count();
+  out.reached_halt = run.cause == sim::StopCause::kBreakpoint;
+  return out;
+}
+
+// Average wall-clock milliseconds of the build pipeline over `iters`
+// iterations (the paper averages compile time over 50 runs). EILIDsw
+// is prebuilt (device firmware, not part of app compilation) and the
+// pipeline runs the paper's exact three iterations (no extra
+// convergence pass).
+inline double measure_compile_ms(const apps::AppSpec& app, bool eilid,
+                                 int iters = 50) {
+  using clock = std::chrono::steady_clock;
+  static const core::RomInfo rom = core::build_rom();
+  core::BuildOptions options;
+  options.eilid = eilid;
+  options.prebuilt_rom = &rom;
+  options.verify_convergence = false;
+  auto start = clock::now();
+  for (int i = 0; i < iters; ++i) {
+    core::BuildResult build = core::build_app(app.source, app.name, options);
+    (void)build;
+  }
+  auto elapsed = std::chrono::duration<double, std::milli>(clock::now() - start);
+  return elapsed.count() / iters;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline double pct(double base, double with) {
+  return base == 0 ? 0.0 : 100.0 * (with - base) / base;
+}
+
+}  // namespace eilid::bench
+
+#endif  // EILID_BENCH_BENCH_UTIL_H

@@ -1,0 +1,51 @@
+// The seven evaluation workloads from the paper's Table IV, hand-ported
+// to MSP430 assembly (the originals are tiny Arduino/LaunchPad C
+// sketches; the instrumenter operates on assembly either way):
+//
+//   light_sensor       Seeed LaunchPad kit: ADC sampling + LED + UART
+//   ultrasonic_ranger  Seeed LaunchPad kit: HC-SR04 ranging
+//   fire_sensor        Seeed LaunchPad kit: flame+temp fusion, alarm
+//   syringe_pump       OpenSyringePump: UART commands, stepper motor,
+//                      *indirect dispatch through function pointers*
+//   temp_sensor        ticepd/msp430-examples: conversion + min/max
+//   charlieplexing     ticepd/msp430-examples: 6-LED multiplexing
+//   lcd_sensor         ticepd/msp430-examples: HD44780 text output
+//
+// Each app boots at `main` (reset vector), performs a fixed bounded
+// workload and parks at the `halt` label, which benchmarks use as the
+// completion breakpoint. Stimulus (ADC series, UART input, distances)
+// is installed by `setup` and is deterministic.
+#ifndef EILID_APPS_APPS_H
+#define EILID_APPS_APPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace eilid::apps {
+
+struct AppSpec {
+  std::string name;
+  std::string source;                 // complete MSP430 assembly
+  void (*setup)(sim::Machine&);       // install peripheral stimulus
+  uint64_t cycle_budget;              // generous bound for the workload
+  // A host check that the app did its job (used by integration tests);
+  // returns an empty string on success, else a failure description.
+  std::string (*check)(sim::Machine&);
+};
+
+// The seven Table IV workloads, in the paper's order.
+const std::vector<AppSpec>& table4_apps();
+
+// Lookup by name; throws eilid::ConfigError if unknown.
+const AppSpec& app_by_name(const std::string& name);
+
+// The deliberately vulnerable UART gateway used by the attack demos
+// (stack overflow in recv_packet, function pointer in RAM).
+const AppSpec& vuln_gateway();
+
+}  // namespace eilid::apps
+
+#endif  // EILID_APPS_APPS_H

@@ -1,0 +1,64 @@
+#include "attacks/gadgets.h"
+
+#include "isa/decoder.h"
+#include "isa/disasm.h"
+#include "isa/registers.h"
+
+namespace eilid::attacks {
+namespace {
+
+// RET is MOV @SP+, PC.
+bool is_ret(const isa::Instruction& insn) {
+  return insn.op == isa::Opcode::kMov &&
+         insn.src.mode == isa::AddrMode::kIndirectInc &&
+         insn.src.reg == isa::kSP &&
+         insn.dst.mode == isa::AddrMode::kRegister && insn.dst.reg == isa::kPC;
+}
+
+bool is_indirect_transfer(const isa::Instruction& insn) {
+  if (insn.op == isa::Opcode::kCall &&
+      insn.src.mode == isa::AddrMode::kRegister) {
+    return true;
+  }
+  // BR Rn == MOV Rn, PC.
+  return insn.op == isa::Opcode::kMov &&
+         insn.src.mode == isa::AddrMode::kRegister &&
+         insn.dst.mode == isa::AddrMode::kRegister && insn.dst.reg == isa::kPC;
+}
+
+}  // namespace
+
+std::vector<Gadget> find_gadgets(const masm::MemoryImage& image, uint16_t start,
+                                 uint16_t end, int max_len) {
+  std::vector<Gadget> out;
+  for (uint32_t addr = start & 0xFFFE; addr <= end; addr += 2) {
+    // Try to read a gadget of up to max_len instructions starting here.
+    Gadget g;
+    g.addr = static_cast<uint16_t>(addr);
+    uint32_t pc = addr;
+    bool terminated = false;
+    for (int n = 0; n < max_len && pc <= end; ++n) {
+      std::array<uint16_t, 3> words = {
+          image.word_at(static_cast<uint16_t>(pc)),
+          image.word_at(static_cast<uint16_t>(pc + 2)),
+          image.word_at(static_cast<uint16_t>(pc + 4))};
+      auto decoded = isa::decode(words, static_cast<uint16_t>(pc));
+      if (!decoded) break;
+      if (!g.text.empty()) g.text += " ; ";
+      g.text += isa::disassemble(decoded->insn);
+      ++g.length;
+      if (is_ret(decoded->insn) || is_indirect_transfer(decoded->insn)) {
+        g.ends_in_ret = is_ret(decoded->insn);
+        terminated = true;
+        break;
+      }
+      // Plain jumps/branches end the straight-line gadget unusably.
+      if (isa::opcode_info(decoded->insn.op).format == isa::Format::kJump) break;
+      pc += 2u * decoded->size_words;
+    }
+    if (terminated) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace eilid::attacks

@@ -1,0 +1,31 @@
+// ROP gadget finder: enumerates code-reuse gadgets in an assembled
+// image (short instruction runs ending in ret / call Rn / br Rn). Used
+// by the attack demo to show that enough reusable code exists for
+// return-oriented programming -- which EILID's P1 makes unusable.
+#ifndef EILID_ATTACKS_GADGETS_H
+#define EILID_ATTACKS_GADGETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masm/image.h"
+
+namespace eilid::attacks {
+
+struct Gadget {
+  uint16_t addr = 0;
+  int length = 0;            // instructions including the terminator
+  std::string text;          // "mov @sp+, r9 ; ret"
+  bool ends_in_ret = false;  // else: indirect call/branch
+};
+
+// Scan every decodable instruction offset in [start, end] of the image
+// and return gadgets of at most `max_len` instructions.
+std::vector<Gadget> find_gadgets(const masm::MemoryImage& image,
+                                 uint16_t start, uint16_t end,
+                                 int max_len = 3);
+
+}  // namespace eilid::attacks
+
+#endif  // EILID_ATTACKS_GADGETS_H

@@ -1,0 +1,61 @@
+#include "casu/update.h"
+
+namespace eilid::casu {
+
+UpdateEngine::UpdateEngine(std::span<const uint8_t> device_key,
+                           CasuMonitor& monitor)
+    : update_key_(crypto::derive_key(device_key, "casu-update")),
+      monitor_(monitor) {}
+
+crypto::Digest UpdateEngine::mac_for(const UpdatePackage& package) const {
+  // MAC over addr || version || payload (all fields fixed-width LE).
+  std::vector<uint8_t> msg;
+  msg.reserve(6 + package.payload.size());
+  msg.push_back(static_cast<uint8_t>(package.target_addr));
+  msg.push_back(static_cast<uint8_t>(package.target_addr >> 8));
+  for (int i = 0; i < 4; ++i) {
+    msg.push_back(static_cast<uint8_t>(package.version >> (8 * i)));
+  }
+  msg.insert(msg.end(), package.payload.begin(), package.payload.end());
+  return crypto::hmac_sha256(
+      std::span<const uint8_t>(update_key_.data(), update_key_.size()),
+      std::span<const uint8_t>(msg.data(), msg.size()));
+}
+
+UpdatePackage UpdateEngine::make_package(uint16_t target_addr, uint32_t version,
+                                         std::vector<uint8_t> payload) const {
+  UpdatePackage pkg;
+  pkg.target_addr = target_addr;
+  pkg.version = version;
+  pkg.payload = std::move(payload);
+  pkg.mac = mac_for(pkg);
+  return pkg;
+}
+
+UpdateStatus UpdateEngine::apply(sim::Machine& machine,
+                                 const UpdatePackage& package) {
+  if (!sim::is_pmem(package.target_addr) ||
+      package.target_addr + package.payload.size() > 0x10000) {
+    return UpdateStatus::kBadRegion;
+  }
+  crypto::Digest expected = mac_for(package);
+  if (!crypto::digest_equal(expected, package.mac)) {
+    // Authentication failure is a monitored event: the ROM update
+    // routine reports it and the device resets at the next step.
+    monitor_.report_update_auth_failure();
+    return UpdateStatus::kBadMac;
+  }
+  if (package.version <= version_) {
+    return UpdateStatus::kRollback;
+  }
+  monitor_.begin_update_session();
+  for (size_t i = 0; i < package.payload.size(); ++i) {
+    machine.bus().raw_store_byte(
+        static_cast<uint16_t>(package.target_addr + i), package.payload[i]);
+  }
+  monitor_.end_update_session();
+  version_ = package.version;
+  return UpdateStatus::kApplied;
+}
+
+}  // namespace eilid::casu

@@ -1,0 +1,62 @@
+// CASU authenticated software update.
+//
+// CASU's only path for modifying PMEM is an update authorised by a MAC
+// computed with a device-unique key and bound to a monotonic version
+// (anti-rollback). The transport and the device-side MAC computation
+// are modeled at the engine level: verification logic (HMAC-SHA256,
+// version check) is real; the bytes are applied to PMEM under an open
+// monitor session, mirroring the ROM update routine's effect.
+#ifndef EILID_CASU_UPDATE_H
+#define EILID_CASU_UPDATE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "casu/monitor.h"
+#include "crypto/hmac.h"
+#include "sim/machine.h"
+
+namespace eilid::casu {
+
+struct UpdatePackage {
+  uint16_t target_addr = 0;
+  uint32_t version = 0;
+  std::vector<uint8_t> payload;
+  crypto::Digest mac{};
+};
+
+enum class UpdateStatus : uint8_t {
+  kApplied,
+  kBadMac,
+  kRollback,       // version <= current version
+  kBadRegion,      // payload does not fit in PMEM
+};
+
+class UpdateEngine {
+ public:
+  // `device_key` is the master key provisioned at manufacture; the
+  // update key is derived as HMAC(master, "casu-update").
+  UpdateEngine(std::span<const uint8_t> device_key, CasuMonitor& monitor);
+
+  // Authority (verifier) side: build a correctly MAC'd package.
+  UpdatePackage make_package(uint16_t target_addr, uint32_t version,
+                             std::vector<uint8_t> payload) const;
+
+  // Device side: verify and apply. On kBadMac the monitor latches an
+  // update-auth violation so the device resets (CASU heals on abuse).
+  UpdateStatus apply(sim::Machine& machine, const UpdatePackage& package);
+
+  uint32_t current_version() const { return version_; }
+
+ private:
+  crypto::Digest mac_for(const UpdatePackage& package) const;
+
+  crypto::Digest update_key_;
+  CasuMonitor& monitor_;
+  uint32_t version_ = 0;
+};
+
+}  // namespace eilid::casu
+
+#endif  // EILID_CASU_UPDATE_H

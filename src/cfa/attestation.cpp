@@ -1,0 +1,135 @@
+#include "cfa/attestation.h"
+
+#include "isa/decoder.h"
+
+namespace eilid::cfa {
+
+void CfaMonitor::log_edge(LoggedEdge edge) {
+  ++total_edges_;
+  if (log_.size() >= config_.log_capacity) {
+    ++dropped_;  // the paper's "voluminous logs" problem, made visible
+    return;
+  }
+  log_.push_back(edge);
+}
+
+void CfaMonitor::on_step(uint16_t from_pc, uint16_t to_pc) {
+  // Determine the fall-through address by decoding the instruction that
+  // just executed; anything else is a control transfer.
+  std::array<uint16_t, 3> words = {
+      bus_.raw_word(from_pc), bus_.raw_word(static_cast<uint16_t>(from_pc + 2)),
+      bus_.raw_word(static_cast<uint16_t>(from_pc + 4))};
+  auto decoded = isa::decode(words, from_pc);
+  if (!decoded) return;
+  if (to_pc != decoded->next_address()) {
+    log_edge({from_pc, to_pc, false});
+  }
+}
+
+void CfaMonitor::on_interrupt(int vector_index, uint16_t from_pc,
+                              uint16_t to_pc) {
+  (void)vector_index;
+  log_edge({from_pc, to_pc, true});
+}
+
+void CfaMonitor::on_device_reset() {
+  // Keep the accumulated evidence; mark the discontinuity.
+  LoggedEdge marker;
+  marker.reset = true;
+  log_edge(marker);
+}
+
+crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
+                                      uint32_t seq,
+                                      const std::vector<LoggedEdge>& edges) {
+  std::vector<uint8_t> msg;
+  msg.reserve(12 + edges.size() * 5);
+  for (int i = 0; i < 8; ++i) msg.push_back(static_cast<uint8_t>(nonce >> (8 * i)));
+  for (int i = 0; i < 4; ++i) msg.push_back(static_cast<uint8_t>(seq >> (8 * i)));
+  for (const auto& e : edges) {
+    msg.push_back(static_cast<uint8_t>(e.from));
+    msg.push_back(static_cast<uint8_t>(e.from >> 8));
+    msg.push_back(static_cast<uint8_t>(e.to));
+    msg.push_back(static_cast<uint8_t>(e.to >> 8));
+    msg.push_back(static_cast<uint8_t>((e.irq ? 1 : 0) | (e.reset ? 2 : 0)));
+  }
+  return crypto::hmac_sha256(std::span<const uint8_t>(key.data(), key.size()),
+                             std::span<const uint8_t>(msg.data(), msg.size()));
+}
+
+Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle) {
+  Report r;
+  r.seq = seq_++;
+  r.cycle = device_cycle;
+  r.dropped = dropped_;
+  r.edges = std::move(log_);
+  log_.clear();
+  dropped_ = 0;
+  r.mac = mac_report(key_, nonce, r.seq, r.edges);
+  return r;
+}
+
+bool CfaVerifier::replay_edge(const LoggedEdge& edge) {
+  if (edge.reset) {
+    // Device rebooted: discard replay state, execution restarts clean.
+    call_stack_.clear();
+    irq_stack_.clear();
+    return true;
+  }
+  if (edge.irq) {
+    if (cfg_.isr_entries.count(edge.to) == 0) return false;
+    irq_stack_.push_back(edge.from);  // resume point
+    return true;
+  }
+  // Direct jump/branch edge?
+  if (cfg_.has_jump_edge(edge.from, edge.to)) return true;
+  // Call site?
+  auto call = cfg_.call_sites.find(edge.from);
+  if (call != cfg_.call_sites.end()) {
+    if (call->second.indirect) {
+      if (cfg_.call_targets.count(edge.to) == 0) return false;
+    } else if (call->second.target != edge.to) {
+      return false;
+    }
+    call_stack_.push_back(call->second.return_addr);
+    return true;
+  }
+  // Return?
+  if (cfg_.ret_addrs.count(edge.from) != 0) {
+    if (call_stack_.empty() || call_stack_.back() != edge.to) return false;
+    call_stack_.pop_back();
+    return true;
+  }
+  // Return from interrupt?
+  if (cfg_.reti_addrs.count(edge.from) != 0) {
+    if (irq_stack_.empty() || irq_stack_.back() != edge.to) return false;
+    irq_stack_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+CfaVerifier::Result CfaVerifier::verify(const Report& report, uint64_t nonce) {
+  Result result;
+  crypto::Digest expected =
+      CfaMonitor::mac_report(key_, nonce, report.seq, report.edges);
+  result.mac_ok = crypto::digest_equal(expected, report.mac);
+  if (!result.mac_ok) return result;
+
+  result.path_ok = true;
+  for (const auto& edge : report.edges) {
+    if (!replay_edge(edge)) {
+      result.path_ok = false;
+      result.first_bad = edge;
+      break;
+    }
+  }
+  return result;
+}
+
+void CfaVerifier::reset_replay() {
+  call_stack_.clear();
+  irq_stack_.clear();
+}
+
+}  // namespace eilid::cfa

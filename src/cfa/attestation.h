@@ -1,0 +1,106 @@
+// Control-flow attestation baseline (hardware-logged, LO-FAT/ACFA
+// style): a bus monitor records every non-sequential control transfer;
+// on a verifier challenge the device emits an HMAC'd log slice. This
+// is the comparison point for the paper's core argument (§II-C): CFA
+// *detects* hijacks only at the next attestation, while EILID
+// *prevents* them in real time.
+#ifndef EILID_CFA_ATTESTATION_H
+#define EILID_CFA_ATTESTATION_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cfa/cfg.h"
+#include "crypto/hmac.h"
+#include "sim/bus.h"
+#include "sim/monitor.h"
+
+namespace eilid::cfa {
+
+struct LoggedEdge {
+  uint16_t from = 0;
+  uint16_t to = 0;
+  bool irq = false;    // asynchronous interrupt entry
+  bool reset = false;  // device reset marker (execution restarts)
+
+  bool operator==(const LoggedEdge&) const = default;
+};
+
+struct Report {
+  uint32_t seq = 0;
+  uint64_t cycle = 0;            // device cycle at emission
+  uint32_t dropped = 0;          // edges lost to log overflow
+  std::vector<LoggedEdge> edges;
+  crypto::Digest mac{};
+};
+
+struct CfaConfig {
+  size_t log_capacity = 256;  // edges held on-device between reports
+};
+
+// The on-device half: logging monitor + report generation.
+class CfaMonitor : public sim::Monitor {
+ public:
+  CfaMonitor(sim::Bus& bus, crypto::Digest key, CfaConfig config = {})
+      : bus_(bus), key_(key), config_(config) {}
+
+  // sim::Monitor. Note: the log *survives* device resets (ACFA keeps
+  // the log slice in attested memory so that evidence of the pre-reset
+  // path is preserved); a reset marker edge is appended instead.
+  void on_step(uint16_t from_pc, uint16_t to_pc) override;
+  void on_interrupt(int vector_index, uint16_t from_pc, uint16_t to_pc) override;
+  void on_device_reset() override;
+
+  // Verifier challenge: drain the log into a MAC'd report.
+  Report take_report(uint64_t nonce, uint64_t device_cycle);
+
+  size_t log_size() const { return log_.size(); }
+  uint64_t total_edges() const { return total_edges_; }
+  uint64_t total_log_bytes() const { return total_edges_ * 4; }
+
+  static crypto::Digest mac_report(const crypto::Digest& key, uint64_t nonce,
+                                   uint32_t seq,
+                                   const std::vector<LoggedEdge>& edges);
+
+ private:
+  void log_edge(LoggedEdge edge);
+
+  sim::Bus& bus_;
+  crypto::Digest key_;
+  CfaConfig config_;
+  std::vector<LoggedEdge> log_;
+  uint32_t dropped_ = 0;
+  uint32_t seq_ = 0;
+  uint64_t total_edges_ = 0;
+};
+
+// The verifier half: MAC check + stateful path replay against the CFG.
+class CfaVerifier {
+ public:
+  struct Result {
+    bool mac_ok = false;
+    bool path_ok = false;
+    std::optional<LoggedEdge> first_bad;
+  };
+
+  CfaVerifier(Cfg cfg, crypto::Digest key) : cfg_(std::move(cfg)), key_(key) {}
+
+  // Verify the next report in sequence. Replay state (call stack,
+  // interrupt frames) persists across reports.
+  Result verify(const Report& report, uint64_t nonce);
+
+  void reset_replay();
+
+ private:
+  bool replay_edge(const LoggedEdge& edge);
+
+  Cfg cfg_;
+  crypto::Digest key_;
+  std::vector<uint16_t> call_stack_;  // expected return addresses
+  std::vector<uint16_t> irq_stack_;   // expected resume addresses
+};
+
+}  // namespace eilid::cfa
+
+#endif  // EILID_CFA_ATTESTATION_H

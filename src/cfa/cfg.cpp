@@ -1,0 +1,88 @@
+#include "cfa/cfg.h"
+
+#include "isa/decoder.h"
+#include "isa/registers.h"
+#include "sim/memory_map.h"
+
+namespace eilid::cfa {
+namespace {
+
+bool is_ret(const isa::Instruction& insn) {
+  return insn.op == isa::Opcode::kMov &&
+         insn.src.mode == isa::AddrMode::kIndirectInc &&
+         insn.src.reg == isa::kSP &&
+         insn.dst.mode == isa::AddrMode::kRegister && insn.dst.reg == isa::kPC;
+}
+
+bool is_br_imm(const isa::Instruction& insn) {
+  return insn.op == isa::Opcode::kMov &&
+         insn.src.mode == isa::AddrMode::kImmediate &&
+         insn.dst.mode == isa::AddrMode::kRegister && insn.dst.reg == isa::kPC;
+}
+
+}  // namespace
+
+Cfg extract_cfg(const masm::AssembledUnit& unit) {
+  Cfg cfg;
+
+  for (size_t i = 0; i < unit.listing.lines.size(); ++i) {
+    const auto& line = unit.listing.lines[i];
+    if (!line.is_instruction || line.bytes.size() < 2) continue;
+    std::array<uint16_t, 3> words{};
+    for (size_t w = 0; w < 3 && 2 * w + 1 < line.bytes.size(); ++w) {
+      words[w] = static_cast<uint16_t>(line.bytes[2 * w] |
+                                       (line.bytes[2 * w + 1] << 8));
+    }
+    auto decoded = isa::decode(words, line.address);
+    if (!decoded) continue;
+    cfg.code_addrs.insert(line.address);
+    const auto& insn = decoded->insn;
+
+    if (isa::opcode_info(insn.op).format == isa::Format::kJump) {
+      cfg.jump_edges.insert(Cfg::edge(line.address, decoded->jump_target()));
+      continue;
+    }
+    if (insn.op == isa::Opcode::kCall) {
+      CallSite site;
+      site.return_addr = decoded->next_address();
+      if (insn.src.mode == isa::AddrMode::kImmediate) {
+        site.target = static_cast<uint16_t>(insn.src.value);
+        cfg.call_targets.insert(site.target);
+      } else {
+        site.indirect = true;
+      }
+      cfg.call_sites.emplace(line.address, site);
+      continue;
+    }
+    if (is_ret(insn)) {
+      cfg.ret_addrs.insert(line.address);
+      continue;
+    }
+    if (insn.op == isa::Opcode::kReti) {
+      cfg.reti_addrs.insert(line.address);
+      continue;
+    }
+    if (is_br_imm(insn)) {
+      cfg.jump_edges.insert(
+          Cfg::edge(line.address, static_cast<uint16_t>(insn.src.value)));
+      continue;
+    }
+  }
+
+  for (const auto& f : unit.func_symbols) {
+    auto it = unit.symbols.find(f);
+    if (it != unit.symbols.end()) cfg.call_targets.insert(it->second);
+  }
+  for (const auto& [slot, handler] : unit.vectors) {
+    auto it = unit.symbols.find(handler);
+    if (it == unit.symbols.end()) continue;
+    if (slot == sim::kResetVectorIndex) {
+      cfg.reset_entry = it->second;
+    } else {
+      cfg.isr_entries.insert(it->second);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace eilid::cfa

@@ -1,0 +1,50 @@
+// Static control-flow graph extraction from an assembled unit. The CFA
+// verifier replays logged edges against this CFG; the same structures
+// back the attack demos' ground truth.
+#ifndef EILID_CFA_CFG_H
+#define EILID_CFA_CFG_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "masm/assembler.h"
+
+namespace eilid::cfa {
+
+struct CallSite {
+  bool indirect = false;
+  uint16_t target = 0;    // direct target (0 for indirect)
+  uint16_t return_addr = 0;  // address of the next instruction
+};
+
+struct Cfg {
+  // Instruction start addresses (for decoding sanity).
+  std::set<uint16_t> code_addrs;
+  // Direct branch edges: jumps (taken), br #imm.
+  std::set<uint32_t> jump_edges;  // (from << 16) | to
+  // Call sites by address.
+  std::map<uint16_t, CallSite> call_sites;
+  // Return instructions (mov @sp+, pc).
+  std::set<uint16_t> ret_addrs;
+  // Return-from-interrupt instructions.
+  std::set<uint16_t> reti_addrs;
+  // Legal indirect-call targets (declared functions + direct targets).
+  std::set<uint16_t> call_targets;
+  // ISR entry points (vector table handlers except reset).
+  std::set<uint16_t> isr_entries;
+  uint16_t reset_entry = 0;
+
+  static uint32_t edge(uint16_t from, uint16_t to) {
+    return (static_cast<uint32_t>(from) << 16) | to;
+  }
+  bool has_jump_edge(uint16_t from, uint16_t to) const {
+    return jump_edges.count(edge(from, to)) != 0;
+  }
+};
+
+Cfg extract_cfg(const masm::AssembledUnit& unit);
+
+}  // namespace eilid::cfa
+
+#endif  // EILID_CFA_CFG_H

@@ -1,0 +1,74 @@
+#include "common/hex.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace eilid {
+
+std::string hex16(uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04x", v);
+  return buf;
+}
+
+std::string hex8(uint8_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02x", v);
+  return buf;
+}
+
+std::string hex16_bare(uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%04x", v);
+  return buf;
+}
+
+std::string hexdump(std::span<const uint8_t> data, uint16_t base) {
+  std::string out;
+  for (size_t row = 0; row < data.size(); row += 16) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "%04zx: ", static_cast<size_t>(base) + row);
+    out += head;
+    std::string ascii;
+    for (size_t i = row; i < row + 16; ++i) {
+      if (i < data.size()) {
+        char cell[8];
+        std::snprintf(cell, sizeof(cell), "%02x ", data[i]);
+        out += cell;
+        ascii += std::isprint(data[i]) ? static_cast<char>(data[i]) : '.';
+      } else {
+        out += "   ";
+      }
+    }
+    out += "|" + ascii + "|\n";
+  }
+  return out;
+}
+
+uint32_t parse_number(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty number");
+  size_t pos = 0;
+  uint32_t value = 0;
+  bool negative = false;
+  std::string t = text;
+  if (t[0] == '-') {
+    negative = true;
+    t = t.substr(1);
+    if (t.empty()) throw std::invalid_argument("lone '-'");
+  }
+  if (t.size() > 2 && (t[0] == '0') && (t[1] == 'x' || t[1] == 'X')) {
+    value = static_cast<uint32_t>(std::stoul(t.substr(2), &pos, 16));
+    if (pos != t.size() - 2) throw std::invalid_argument("bad hex: " + text);
+  } else if (t.size() > 1 && (t.back() == 'h' || t.back() == 'H')) {
+    value = static_cast<uint32_t>(std::stoul(t.substr(0, t.size() - 1), &pos, 16));
+    if (pos != t.size() - 1) throw std::invalid_argument("bad hex: " + text);
+  } else {
+    value = static_cast<uint32_t>(std::stoul(t, &pos, 10));
+    if (pos != t.size()) throw std::invalid_argument("bad number: " + text);
+  }
+  if (negative) value = static_cast<uint32_t>(-static_cast<int32_t>(value));
+  return value;
+}
+
+}  // namespace eilid

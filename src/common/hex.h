@@ -1,0 +1,32 @@
+// Hexadecimal formatting helpers used by the disassembler, listing
+// writer, tracer and attack tooling.
+#ifndef EILID_COMMON_HEX_H
+#define EILID_COMMON_HEX_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eilid {
+
+// "0x1234" (always 4 hex digits -- MSP430 addresses are 16-bit).
+std::string hex16(uint16_t v);
+
+// "0x12" (always 2 hex digits).
+std::string hex8(uint8_t v);
+
+// Bare 4-digit form without prefix: "1234". Used in .lst listings.
+std::string hex16_bare(uint16_t v);
+
+// Canonical hexdump of a byte buffer: one 16-byte row per line,
+// "ADDR: xx xx ... |ascii|". `base` is the address of data[0].
+std::string hexdump(std::span<const uint8_t> data, uint16_t base = 0);
+
+// Parse "0x1A2B", "1A2Bh" or decimal "1234"; throws std::invalid_argument
+// on malformed input. Used by assembler operand parsing and CLI tools.
+uint32_t parse_number(const std::string& text);
+
+}  // namespace eilid
+
+#endif  // EILID_COMMON_HEX_H

@@ -1,0 +1,27 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace eilid {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+void emit(const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_warning(const std::string& msg) {
+  if (g_level >= LogLevel::kWarning) emit("warn", msg);
+}
+void log_info(const std::string& msg) {
+  if (g_level >= LogLevel::kInfo) emit("info", msg);
+}
+void log_debug(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) emit("debug", msg);
+}
+
+}  // namespace eilid

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Benchmarks and examples print their own
+// tables; the logger is for diagnostics (instrumenter warnings, monitor
+// violation reports) and is silent at default level.
+#ifndef EILID_COMMON_LOG_H
+#define EILID_COMMON_LOG_H
+
+#include <string>
+
+namespace eilid {
+
+enum class LogLevel { kSilent = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+// Process-wide threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_warning(const std::string& msg);
+void log_info(const std::string& msg);
+void log_debug(const std::string& msg);
+
+}  // namespace eilid
+
+#endif  // EILID_COMMON_LOG_H

@@ -1,0 +1,44 @@
+// Deterministic PRNG (splitmix64) for property tests, workload stimulus
+// and attack fuzzing. Not cryptographic -- crypto lives in src/crypto.
+// Determinism matters: every test and benchmark must be reproducible
+// from a printed seed.
+#ifndef EILID_COMMON_RNG_H
+#define EILID_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace eilid {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next 64 random bits (splitmix64).
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  uint16_t u16() { return static_cast<uint16_t>(next()); }
+  uint8_t u8() { return static_cast<uint8_t>(next()); }
+
+  // Bernoulli with probability num/den.
+  bool chance(int num, int den) { return static_cast<int>(below(static_cast<uint64_t>(den))) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_COMMON_RNG_H

@@ -1,0 +1,62 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace eilid {
+
+std::string trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto& piece : split(s, ',')) {
+    auto t = trim(piece);
+    if (!t.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$';
+  };
+  auto body = [&](char c) { return head(c) || std::isdigit(static_cast<unsigned char>(c)); };
+  if (!head(s[0])) return false;
+  return std::all_of(s.begin() + 1, s.end(), body);
+}
+
+}  // namespace eilid

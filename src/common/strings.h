@@ -1,0 +1,33 @@
+// Small string utilities used by the assembler front end and the
+// instrumenter. Kept header-light: plain functions over std::string.
+#ifndef EILID_COMMON_STRINGS_H
+#define EILID_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eilid {
+
+// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+// Split on a single delimiter character; does not merge empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Split a comma-separated operand list, honouring nothing fancy (MSP430
+// operands never contain commas). Each piece is trimmed.
+std::vector<std::string> split_operands(std::string_view s);
+
+// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// True if `s` is a valid assembler identifier: [A-Za-z_.$][A-Za-z0-9_.$]*
+bool is_identifier(std::string_view s);
+
+}  // namespace eilid
+
+#endif  // EILID_COMMON_STRINGS_H

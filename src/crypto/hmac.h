@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), plus constant-time comparison.
+// Used by the CASU secure-update protocol and the CFA attestation engine.
+#ifndef EILID_CRYPTO_HMAC_H
+#define EILID_CRYPTO_HMAC_H
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace eilid::crypto {
+
+// MAC = HMAC-SHA256(key, message).
+Digest hmac_sha256(std::span<const uint8_t> key, std::span<const uint8_t> message);
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+// Constant-time digest equality; RoT code must never early-exit on a
+// MAC mismatch (timing side channel on the verifier path).
+bool digest_equal(const Digest& a, const Digest& b);
+
+// Simple KDF used to derive per-purpose device keys from a master key:
+// HMAC(master, label). Mirrors how VRASED-family RoTs separate the
+// attestation key from the update key.
+Digest derive_key(std::span<const uint8_t> master, std::string_view label);
+
+}  // namespace eilid::crypto
+
+#endif  // EILID_CRYPTO_HMAC_H

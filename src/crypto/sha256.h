@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4). Implemented from scratch: CASU's authenticated
+// software update and the CFA baselines both need a MAC, and low-end RoT
+// papers (VRASED/CASU lineage) standardise on HMAC-SHA256.
+#ifndef EILID_CRYPTO_SHA256_H
+#define EILID_CRYPTO_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace eilid::crypto {
+
+using Digest = std::array<uint8_t, 32>;
+
+// Incremental SHA-256. Typical use:
+//   Sha256 h; h.update(a); h.update(b); Digest d = h.finish();
+// finish() resets the object so it can be reused.
+class Sha256 {
+ public:
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void reset();
+  void update(std::span<const uint8_t> data);
+  void update(std::string_view text);
+  Digest finish();
+
+ private:
+  void compress(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_bits_ = 0;
+};
+
+// One-shot helpers.
+Digest sha256(std::span<const uint8_t> data);
+Digest sha256(std::string_view text);
+
+// Lowercase hex rendering of a digest.
+std::string digest_hex(const Digest& d);
+
+}  // namespace eilid::crypto
+
+#endif  // EILID_CRYPTO_SHA256_H

@@ -1,0 +1,53 @@
+// Device factory: wires a simulated machine, the EILID/CASU hardware
+// monitor and the built images into a ready-to-run device. This is the
+// main entry point users of the library interact with:
+//
+//   auto build = core::build_app(source, "app");
+//   core::Device device(build);
+//   device.machine().run(1'000'000);
+#ifndef EILID_EILID_DEVICE_H
+#define EILID_EILID_DEVICE_H
+
+#include <memory>
+
+#include "eilid/hw_monitor.h"
+#include "eilid/pipeline.h"
+#include "sim/machine.h"
+
+namespace eilid::core {
+
+struct DeviceOptions {
+  double clock_hz = 8e6;
+  bool halt_on_reset = false;  // stop run() at the first enforcement reset
+};
+
+class Device {
+ public:
+  explicit Device(const BuildResult& build, DeviceOptions options = {});
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  sim::Machine& machine() { return machine_; }
+  EilidHwMonitor& monitor() { return monitor_; }
+  const BuildResult& build() const { return build_; }
+  bool eilid_enabled() const { return eilid_enabled_; }
+
+  // Convenience: run until the given app symbol is reached (or the
+  // cycle budget runs out). Throws if the symbol is unknown.
+  sim::RunResult run_to_symbol(const std::string& symbol, uint64_t max_cycles);
+
+  uint16_t symbol(const std::string& name) const;
+
+ private:
+  static EilidHwConfig make_hw_config(const BuildResult& build);
+
+  BuildResult build_;
+  sim::Machine machine_;
+  EilidHwMonitor monitor_;
+  bool eilid_enabled_;
+};
+
+}  // namespace eilid::core
+
+#endif  // EILID_EILID_DEVICE_H

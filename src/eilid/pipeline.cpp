@@ -1,0 +1,70 @@
+#include "eilid/pipeline.h"
+
+#include "common/error.h"
+
+namespace eilid::core {
+
+BuildResult build_app(const std::string& source, const std::string& name,
+                      const BuildOptions& options) {
+  BuildResult result;
+  std::vector<std::string> original = masm::split_lines(source);
+
+  if (!options.eilid) {
+    result.app = masm::assemble(original, name);
+    result.iterations.push_back({original.size(), result.app.image.size_bytes()});
+    return result;
+  }
+
+  RomConfig rom_cfg = options.rom;
+  if (options.prebuilt_rom != nullptr) {
+    result.rom = *options.prebuilt_rom;
+    rom_cfg = result.rom.config;
+  } else {
+    result.rom = build_rom(rom_cfg);
+  }
+
+  InstrumentConfig icfg = options.instrument;
+  icfg.index_in_register = !rom_cfg.memory_backed_index;
+  Instrumenter inst(icfg, result.rom.unit.symbols);
+
+  if (icfg.label_mode) {
+    // Single-pass ablation: return addresses are assembler labels.
+    InstrumentResult ir = inst.instrument(original, nullptr);
+    result.app = masm::assemble(ir.lines, name);
+    result.report = std::move(ir);
+    result.iterations.push_back({original.size(), result.app.image.size_bytes()});
+    return result;
+  }
+
+  // --- Iteration 1: plain build of the original source. ---
+  masm::AssembledUnit build1 = masm::assemble(original, name + "_1");
+  result.iterations.push_back({original.size(), build1.image.size_bytes()});
+
+  // --- Iteration 2: instrument with iteration-1 addresses (stale). ---
+  InstrumentResult inst2 = inst.instrument(original, &build1.listing);
+  masm::AssembledUnit build2 = masm::assemble(inst2.lines, name + "_2");
+  result.iterations.push_back({inst2.lines.size(), build2.image.size_bytes()});
+
+  // --- Iteration 3: instrument with iteration-2 addresses (final). ---
+  InstrumentResult inst3 = inst.instrument(original, &build2.listing);
+  masm::AssembledUnit build3 = masm::assemble(inst3.lines, name);
+  result.iterations.push_back({inst3.lines.size(), build3.image.size_bytes()});
+
+  if (options.verify_convergence) {
+    // A fourth instrumentation must reproduce iteration 3 exactly:
+    // the layout of build2 and build3 agree, so the addresses read
+    // from either listing are identical.
+    InstrumentResult inst4 = inst.instrument(original, &build3.listing);
+    result.converged = (inst4.lines == inst3.lines);
+    if (!result.converged) {
+      throw InstrumentError(
+          "instrumented build did not converge after three iterations");
+    }
+  }
+
+  result.app = std::move(build3);
+  result.report = std::move(inst3);
+  return result;
+}
+
+}  // namespace eilid::core

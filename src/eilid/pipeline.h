@@ -1,0 +1,55 @@
+// The EILID build pipeline: the paper's three-iteration instrumented
+// compile flow (Fig. 2).
+//
+//   build 1: assemble the original source            -> app_1.lst
+//   build 2: instrument(original, app_1.lst)         -> app_2.lst
+//   build 3: instrument(original, app_2.lst)         -> final image
+//
+// Iteration 3's addresses are final because instrumentation size is
+// independent of the numeric values it embeds; a convergence check
+// verifies this. Label mode (ablation) needs a single build.
+#ifndef EILID_EILID_PIPELINE_H
+#define EILID_EILID_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "eilid/instrumenter.h"
+#include "eilid/rom_builder.h"
+#include "masm/assembler.h"
+
+namespace eilid::core {
+
+struct BuildOptions {
+  bool eilid = true;  // false: plain (original) build, single pass
+  InstrumentConfig instrument;
+  RomConfig rom;
+  bool verify_convergence = true;  // assert iteration-3 fixpoint
+  // EILIDsw is device firmware, built once per deployment, not per app
+  // compile; benches pass a prebuilt ROM to keep compile-time honest.
+  const RomInfo* prebuilt_rom = nullptr;
+};
+
+struct IterationStats {
+  size_t source_lines = 0;
+  size_t image_bytes = 0;
+};
+
+struct BuildResult {
+  masm::AssembledUnit app;   // final application unit
+  RomInfo rom;               // EILIDsw (empty unit when !eilid)
+  InstrumentResult report;   // last instrumentation pass
+  std::vector<IterationStats> iterations;  // Fig. 2 growth data
+  bool converged = true;
+
+  size_t binary_size() const { return app.image.size_bytes(); }
+};
+
+// Build an application from source text. Throws on assembly or
+// instrumentation errors.
+BuildResult build_app(const std::string& source, const std::string& name,
+                      const BuildOptions& options = {});
+
+}  // namespace eilid::core
+
+#endif  // EILID_EILID_PIPELINE_H

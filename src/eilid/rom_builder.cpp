@@ -1,0 +1,220 @@
+#include "eilid/rom_builder.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "sim/reset.h"
+
+namespace eilid::core {
+namespace {
+
+// The ROM reports failed CFI checks by storing a reason code to the
+// violation register; CASU hardware resets the device on that store.
+std::string viol_store(uint16_t code) {
+  return "    mov #" + std::to_string(code) + ", &" +
+         hex16(sim::mmio::kViolationReg) + "\n";
+}
+
+}  // namespace
+
+std::string generate_rom_source(const RomConfig& cfg) {
+  const uint16_t cap = cfg.effective_shadow_capacity();
+  if (cap < 4) throw ConfigError("shadow stack capacity too small");
+  if (cfg.shadow_base_addr() + 2 * cap >
+      cfg.secure_base + cfg.secure_size) {
+    throw ConfigError("secure DMEM layout exceeds region");
+  }
+
+  std::string s;
+  s += "; EILIDsw -- trusted shadow-stack software (generated)\n";
+  s += "; sections: entry (single gate) / body (S_EILID_*) / leave\n";
+  s += ".equ TBL_COUNT, " + hex16(cfg.tbl_count_addr()) + "\n";
+  s += ".equ TBL_LOCK, " + hex16(cfg.tbl_lock_addr()) + "\n";
+  s += ".equ SHADOW_IDX, " + hex16(cfg.idx_addr()) + "\n";
+  s += ".equ TBL_BASE, " + hex16(cfg.tbl_base_addr()) + "\n";
+  s += ".equ SHADOW_BASE, " + hex16(cfg.shadow_base_addr()) + "\n";
+  s += ".equ SHADOW_CAP, " + std::to_string(cap) + "\n";
+  s += ".equ SHADOW_CAP_M1, " + std::to_string(cap - 1) + "\n";
+  s += ".equ TBL_CAP, " + std::to_string(cfg.table_capacity) + "\n";
+  s += ".org " + hex16(sim::kRomStart) + "\n";
+
+  // --- entry section: the NS_* selector stubs. This is the only ROM
+  // range the hardware lets non-secure code jump into; interrupts are
+  // masked from here on, so r4 is never live in application code. ---
+  s += "S_ENTRY:\n";
+  for (int selector = 0; selector < 8; ++selector) {
+    s += std::string(kVeneerNames[selector]) + ":\n";
+    s += "    mov #" + std::to_string(selector) + ", r4\n";
+    s += "    jmp S_DISPATCH\n";
+  }
+
+  // --- dispatch (paper Fig. 9a, step 1->2). ---
+  s += "S_DISPATCH:\n";
+  s += "    cmp #1, r4\n    jz S_EILID_store_ra\n";
+  s += "    cmp #2, r4\n    jz S_EILID_check_ra\n";
+  s += "    cmp #3, r4\n    jz S_EILID_store_rfi\n";
+  s += "    cmp #4, r4\n    jz S_EILID_check_rfi\n";
+  s += "    cmp #5, r4\n    jz S_EILID_store_ind\n";
+  s += "    cmp #6, r4\n    jz S_EILID_check_ind\n";
+  s += "    tst r4\n    jz S_EILID_init\n";
+  s += "    cmp #7, r4\n    jz S_EILID_lock\n";
+  s += viol_store(sim::viol::kSelector);
+
+  // --- body section. ---
+  // Two codegen variants (paper §V-B ablation):
+  //  - register index (default): r5 holds the entry count; computing
+  //    the slot needs no memory access ("improving performance").
+  //  - memory-backed index: the count lives at SHADOW_IDX; r5 is not
+  //    touched at all, freeing it for the application.
+  const bool mem_idx = cfg.memory_backed_index;
+
+  s += "S_EILID_init:\n";
+  if (mem_idx) {
+    s += "    clr &SHADOW_IDX\n";
+  } else {
+    s += "    clr r5\n";
+  }
+  s += "    clr &TBL_COUNT\n";
+  s += "    clr &TBL_LOCK\n";
+  s += "    jmp S_LEAVE\n";
+
+  // P1 store: push r6 (return address) onto the shadow stack.
+  s += "S_EILID_store_ra:\n";
+  if (mem_idx) {
+    s += "    mov &SHADOW_IDX, r4\n";
+    s += "    cmp #SHADOW_CAP, r4\n";
+    s += "    jge V_OVERFLOW\n";
+    s += "    rla r4\n";
+    s += "    mov r6, SHADOW_BASE(r4)\n";
+    s += "    inc &SHADOW_IDX\n";
+  } else {
+    s += "    cmp #SHADOW_CAP, r5\n";
+    s += "    jge V_OVERFLOW\n";
+    s += "    mov r5, r4\n";
+    s += "    rla r4\n";
+    s += "    mov r6, SHADOW_BASE(r4)\n";
+    s += "    inc r5\n";
+  }
+  s += "    jmp S_LEAVE\n";
+
+  // P1 check: pop and compare against r6.
+  s += "S_EILID_check_ra:\n";
+  if (mem_idx) {
+    s += "    mov &SHADOW_IDX, r4\n";
+    s += "    tst r4\n";
+    s += "    jz V_UNDERFLOW\n";
+    s += "    dec r4\n";
+    s += "    mov r4, &SHADOW_IDX\n";
+    s += "    rla r4\n";
+  } else {
+    s += "    tst r5\n";
+    s += "    jz V_UNDERFLOW\n";
+    s += "    dec r5\n";
+    s += "    mov r5, r4\n";
+    s += "    rla r4\n";
+  }
+  s += "    cmp SHADOW_BASE(r4), r6\n";
+  s += "    jnz V_RA\n";
+  s += "    jmp S_LEAVE\n";
+
+  // P2 store: push interrupt context (r6 = saved PC, r7 = saved SR).
+  s += "S_EILID_store_rfi:\n";
+  if (mem_idx) {
+    s += "    mov &SHADOW_IDX, r4\n";
+    s += "    cmp #SHADOW_CAP_M1, r4\n";
+    s += "    jge V_OVERFLOW\n";
+    s += "    rla r4\n";
+    s += "    mov r6, SHADOW_BASE(r4)\n";
+    s += "    mov r7, SHADOW_BASE+2(r4)\n";
+    s += "    incd &SHADOW_IDX\n";
+  } else {
+    s += "    cmp #SHADOW_CAP_M1, r5\n";
+    s += "    jge V_OVERFLOW\n";
+    s += "    mov r5, r4\n";
+    s += "    rla r4\n";
+    s += "    mov r6, SHADOW_BASE(r4)\n";
+    s += "    mov r7, SHADOW_BASE+2(r4)\n";
+    s += "    incd r5\n";
+  }
+  s += "    jmp S_LEAVE\n";
+
+  // P2 check: pop both context words and compare.
+  s += "S_EILID_check_rfi:\n";
+  if (mem_idx) {
+    s += "    mov &SHADOW_IDX, r4\n";
+    s += "    cmp #2, r4\n";
+    s += "    jl V_UNDERFLOW\n";
+    s += "    decd r4\n";
+    s += "    mov r4, &SHADOW_IDX\n";
+    s += "    rla r4\n";
+  } else {
+    s += "    cmp #2, r5\n";
+    s += "    jl V_UNDERFLOW\n";
+    s += "    decd r5\n";
+    s += "    mov r5, r4\n";
+    s += "    rla r4\n";
+  }
+  s += "    cmp SHADOW_BASE(r4), r6\n";
+  s += "    jnz V_RFI\n";
+  s += "    cmp SHADOW_BASE+2(r4), r7\n";
+  s += "    jnz V_RFI\n";
+  s += "    jmp S_LEAVE\n";
+
+  // P3 registration: append r6 to the function-entry table.
+  s += "S_EILID_store_ind:\n";
+  s += "    tst &TBL_LOCK\n";
+  s += "    jnz V_IND\n";
+  s += "    mov &TBL_COUNT, r4\n";
+  s += "    cmp #TBL_CAP, r4\n";
+  s += "    jge V_TBLFULL\n";
+  s += "    rla r4\n";
+  s += "    mov r6, TBL_BASE(r4)\n";
+  s += "    inc &TBL_COUNT\n";
+  s += "    jmp S_LEAVE\n";
+
+  // P3 check: linear search for r6 in the table.
+  s += "S_EILID_check_ind:\n";
+  s += "    mov &TBL_COUNT, r4\n";
+  s += "S_ci_loop:\n";
+  s += "    tst r4\n";
+  s += "    jz V_IND\n";
+  s += "    dec r4\n";
+  s += "    mov r4, r7\n";
+  s += "    rla r7\n";
+  s += "    cmp TBL_BASE(r7), r6\n";
+  s += "    jz S_LEAVE\n";
+  s += "    jmp S_ci_loop\n";
+
+  // Hardening extension: freeze the table after boot registration.
+  s += "S_EILID_lock:\n";
+  s += "    mov #1, &TBL_LOCK\n";
+  s += "    jmp S_LEAVE\n";
+
+  // Violation reporters (each store resets the device immediately).
+  s += "V_RA:\n" + viol_store(sim::viol::kRa);
+  s += "V_RFI:\n" + viol_store(sim::viol::kRfi);
+  s += "V_IND:\n" + viol_store(sim::viol::kInd);
+  s += "V_OVERFLOW:\n" + viol_store(sim::viol::kOverflow);
+  s += "V_UNDERFLOW:\n" + viol_store(sim::viol::kUnderflow);
+  s += "V_TBLFULL:\n" + viol_store(sim::viol::kTableFull);
+
+  // --- leave section (paper Fig. 9a, step 3): the only legal exit. ---
+  s += "S_LEAVE:\n";
+  s += "    clr r4\n";
+  s += "    ret\n";
+  s += "S_ROM_END:\n";
+  return s;
+}
+
+RomInfo build_rom(const RomConfig& config) {
+  RomInfo info;
+  info.config = config;
+  std::string source = generate_rom_source(config);
+  info.unit = masm::assemble_text(source, "eilidsw");
+  info.entry_start = info.unit.symbols.at("S_ENTRY");
+  info.entry_end = static_cast<uint16_t>(info.unit.symbols.at("S_DISPATCH") - 2);
+  info.leave_start = info.unit.symbols.at("S_LEAVE");
+  info.leave_end = static_cast<uint16_t>(info.unit.symbols.at("S_ROM_END") - 2);
+  return info;
+}
+
+}  // namespace eilid::core

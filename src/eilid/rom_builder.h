@@ -1,0 +1,32 @@
+// EILIDsw generator: produces the trusted-software ROM image as real
+// MSP430 assembly (entry / body / leave sections, paper Fig. 9a). The
+// routines execute on the simulator, so their instruction counts and
+// cycle costs are measured properties, not assumptions.
+#ifndef EILID_EILID_ROM_BUILDER_H
+#define EILID_EILID_ROM_BUILDER_H
+
+#include <string>
+
+#include "eilid/config.h"
+#include "masm/assembler.h"
+
+namespace eilid::core {
+
+struct RomInfo {
+  masm::AssembledUnit unit;    // assembled EILIDsw
+  uint16_t entry_start = 0;    // entry section: the NS_* selector stubs
+  uint16_t entry_end = 0;      // (inclusive; the only legal ROM entries)
+  uint16_t leave_start = 0;    // leave section range (legal exit source)
+  uint16_t leave_end = 0;
+  RomConfig config;
+};
+
+// Generate the EILIDsw assembly text (useful for docs/inspection).
+std::string generate_rom_source(const RomConfig& config);
+
+// Generate and assemble EILIDsw.
+RomInfo build_rom(const RomConfig& config = {});
+
+}  // namespace eilid::core
+
+#endif  // EILID_EILID_ROM_BUILDER_H

@@ -1,0 +1,36 @@
+#include "hwcost/literature.h"
+
+namespace eilid::hwcost {
+
+const std::vector<Technique>& techniques() {
+  static const std::vector<Technique> kRows = {
+      {"HAFIX", Method::kCfi, true, false, true, false, "Intel Siskiyou Peak",
+       "Extends Intel ISA with shadow stack", 1150, 300, true},
+      {"HCFI", Method::kCfi, true, true, true, false, "Leon3 SPARC V8",
+       "Extends Sparc V8 ISA with shadow stack and labels", 2500, 2200, true},
+      {"FIXER", Method::kCfi, true, true, true, false, "RocketChip",
+       "Extends RISC-V ISA with shadow stack", -1, -1, true},
+      {"Silhouette", Method::kCfi, true, true, true, true, "ARMv7-M",
+       "Uses ARM MPU for hardened shadow-stacks and labels", -1, -1, true},
+      {"CaRE", Method::kCfi, true, false, true, true, "ARMv8-M",
+       "Uses ARM TrustZone for shadow stack & nested interrupts", -1, -1, true},
+      {"Tiny-CFA", Method::kCfa, false, true, true, false, "openMSP430",
+       "Hybrid CFA with shadow stack", 302, 44, false},
+      {"ACFA", Method::kCfa, false, true, true, true, "openMSP430",
+       "Active hybrid CFA with secure auditing of code", 501, 946, false},
+      {"LO-FAT", Method::kCfa, false, true, true, false, "Pulpino",
+       "Hardware-based CFA solution", 4100, 8800, true},
+      {"LiteHAX", Method::kCfa, false, true, true, false, "Pulpino",
+       "Lightweight hardware-assisted attestation of execution", 2800, 2600,
+       true},
+      {"CFA+", Method::kCfa, false, true, true, true, "ARMv8.5-A",
+       "Leverages ARM's Branch Target Identification", -1, -1, true},
+      // EILID: real-time CFI on a low-end device. The paper's measured
+      // values over openMSP430.
+      {"EILID", Method::kCfi, true, true, true, true, "openMSP430",
+       "Uses CASU for shadow stack", 99, 34, false},
+  };
+  return kRows;
+}
+
+}  // namespace eilid::hwcost

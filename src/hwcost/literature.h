@@ -1,0 +1,46 @@
+// Comparison data for prior CFI/CFA systems: the feature matrix of the
+// paper's Table I and the hardware-overhead bars of Fig. 10.
+//
+// Numbers for Tiny-CFA, ACFA and EILID are the exact values stated in
+// the EILID paper (§VI); the remaining systems' values are approximate
+// readings of Fig. 10's bars against their original papers, marked
+// `approximate = true`. EILID's own cost can alternatively be computed
+// structurally via hwcost::eilid_full_bom().
+#ifndef EILID_HWCOST_LITERATURE_H
+#define EILID_HWCOST_LITERATURE_H
+
+#include <string>
+#include <vector>
+
+namespace eilid::hwcost {
+
+enum class Method { kCfi, kCfa };
+
+struct Technique {
+  std::string name;
+  Method method = Method::kCfi;
+  bool realtime = false;        // RT: prevents at run time
+  bool forward_edge = false;    // F-edge
+  bool backward_edge = false;   // B-edge
+  bool interrupt_safe = false;  // Interrupt column
+  std::string platform;
+  std::string summary;
+
+  // Fig. 10 data (additional LUTs / registers over the base core);
+  // negative = not reported on comparable hardware.
+  int extra_luts = -1;
+  int extra_regs = -1;
+  bool approximate = false;
+};
+
+// Table I rows (prior work) plus EILID, in the paper's order.
+const std::vector<Technique>& techniques();
+
+// Baseline openMSP430 resource usage on the Basys3 target (the "+x%"
+// percentages in §VI are relative to these).
+inline constexpr int kOpenMsp430Luts = 1868;  // 99 LUTs == 5.3%
+inline constexpr int kOpenMsp430Regs = 694;   // 34 regs == 4.9%
+
+}  // namespace eilid::hwcost
+
+#endif  // EILID_HWCOST_LITERATURE_H

@@ -1,0 +1,54 @@
+#include "hwcost/monitor_model.h"
+
+namespace eilid::hwcost {
+
+BillOfMaterials casu_monitor_bom() {
+  BillOfMaterials bom;
+  bom.design = "CASU monitor";
+  bom.items = {
+      // W^X: the PC must stay inside PMEM or ROM.
+      {"pc-in-pmem magnitude compare", magnitude_comparator(16)},
+      {"pc-in-rom range check", range_check(16)},
+      // PMEM immutability: write-address decode + session gate.
+      {"write-addr-in-pmem compare", magnitude_comparator(16)},
+      {"write-addr-in-rom range check", range_check(16)},
+      {"update-session latch", reg(1)},
+      {"update-ctrl address decode", eq_comparator(16)},
+      // ROM entry/exit gate: previous-PC register + section compares.
+      {"previous-pc register", reg(16)},
+      {"entry-section range check", range_check(16)},
+      {"leave-section range check", range_check(16)},
+      // Key-region read gating.
+      {"key-region range check", range_check(16)},
+      // Violation handling and reset generation.
+      {"violation-reg address decode", eq_comparator(16)},
+      {"enforcement FSM (run/violation/reset)", fsm(3, 6)},
+      {"irq gating + reset glue", glue(4)},
+  };
+  return bom;
+}
+
+BillOfMaterials eilid_extension_bom() {
+  BillOfMaterials bom;
+  bom.design = "EILID secure-memory extension";
+  bom.items = {
+      // Shadow-stack region access check on both read and write paths
+      // (data address bus snoop, gated on PC-in-ROM).
+      {"data-addr-in-secure-DMEM range check", range_check(16)},
+      {"pc-in-rom qualifier reuse glue", glue(2)},
+      // Violation reason code captured from the ROM's store.
+      {"violation-code capture register", reg(4)},
+      {"reason mux + reset glue", glue(3)},
+  };
+  return bom;
+}
+
+BillOfMaterials eilid_full_bom() {
+  BillOfMaterials bom;
+  bom.design = "EILID hardware (CASU + secure-memory extension)";
+  for (const auto& item : casu_monitor_bom().items) bom.items.push_back(item);
+  for (const auto& item : eilid_extension_bom().items) bom.items.push_back(item);
+  return bom;
+}
+
+}  // namespace eilid::hwcost

@@ -1,0 +1,25 @@
+// Structural cost models of the CASU and EILID hardware monitors. The
+// bill of materials mirrors, check by check, what src/casu/monitor.cpp
+// and src/eilid/hw_monitor.h implement -- so the LUT/FF estimate is
+// derived from the *actual* enforced invariants, not hand-tuned.
+#ifndef EILID_HWCOST_MONITOR_MODEL_H
+#define EILID_HWCOST_MONITOR_MODEL_H
+
+#include "hwcost/primitives.h"
+
+namespace eilid::hwcost {
+
+// CASU alone: W^X, PMEM immutability, ROM gate, update session, reset.
+BillOfMaterials casu_monitor_bom();
+
+// EILID's *additional* hardware on top of CASU: the secure-DMEM
+// (shadow stack) access checks and the violation-code capture. The
+// paper reports this as +99 LUTs / +34 registers over openMSP430.
+BillOfMaterials eilid_extension_bom();
+
+// CASU + EILID extension (the full monitor of an EILID device).
+BillOfMaterials eilid_full_bom();
+
+}  // namespace eilid::hwcost
+
+#endif  // EILID_HWCOST_MONITOR_MODEL_H

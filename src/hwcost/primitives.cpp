@@ -1,0 +1,27 @@
+#include "hwcost/primitives.h"
+
+namespace eilid::hwcost {
+
+Cost eq_comparator(int width) {
+  if (width <= 6) return {1, 0};
+  return {(width + 5) / 6 + 1, 0};
+}
+
+Cost magnitude_comparator(int width) { return {(width + 3) / 4, 0}; }
+
+Cost range_check(int width) {
+  Cost two = magnitude_comparator(width) + magnitude_comparator(width);
+  return two;  // the AND folds into the final compare LUT
+}
+
+Cost reg(int width) { return {0, width}; }
+
+Cost fsm(int states, int transition_terms) {
+  int state_bits = 1;
+  while ((1 << state_bits) < states) ++state_bits;
+  return {transition_terms, state_bits};
+}
+
+Cost glue(int luts) { return {luts, 0}; }
+
+}  // namespace eilid::hwcost

@@ -1,0 +1,63 @@
+// FPGA resource cost model for monitor hardware, targeting 6-input-LUT
+// fabrics (the paper synthesises for a Basys3 Artix-7).
+//
+// Cost assumptions (documented, deliberately simple):
+//   - k-bit equality comparator: XNOR reduction, ceil(k/6)+1 LUTs for
+//     k > 6, 1 LUT otherwise; 0 FFs.
+//   - k-bit magnitude comparator (>=): carry-chain compare, ceil(k/4)
+//     LUTs; 0 FFs.
+//   - k-bit range check (lo <= x <= hi): two magnitude comparators
+//     plus an AND (absorbed into the second LUT).
+//   - k-bit register: k FFs, 0 LUTs (control absorbed).
+//   - FSM with s states and t transition product terms:
+//     ceil(log2 s) FFs, t LUTs.
+//   - glue: explicit LUT count.
+#ifndef EILID_HWCOST_PRIMITIVES_H
+#define EILID_HWCOST_PRIMITIVES_H
+
+#include <string>
+#include <vector>
+
+namespace eilid::hwcost {
+
+struct Cost {
+  int luts = 0;
+  int ffs = 0;
+
+  Cost operator+(const Cost& other) const {
+    return {luts + other.luts, ffs + other.ffs};
+  }
+  Cost& operator+=(const Cost& other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    return *this;
+  }
+};
+
+Cost eq_comparator(int width);
+Cost magnitude_comparator(int width);
+Cost range_check(int width);
+Cost reg(int width);
+Cost fsm(int states, int transition_terms);
+Cost glue(int luts);
+
+// A named line item in a monitor's bill of materials.
+struct BomItem {
+  std::string name;
+  Cost cost;
+};
+
+struct BillOfMaterials {
+  std::string design;
+  std::vector<BomItem> items;
+
+  Cost total() const {
+    Cost t;
+    for (const auto& item : items) t += item.cost;
+    return t;
+  }
+};
+
+}  // namespace eilid::hwcost
+
+#endif  // EILID_HWCOST_PRIMITIVES_H

@@ -1,0 +1,77 @@
+#include "isa/cycles.h"
+
+#include "isa/registers.h"
+
+namespace eilid::isa {
+namespace {
+
+// Source-mode timing class: 0 = register/constant, 1 = @Rn,
+// 2 = @Rn+ / #N, 3 = indexed/symbolic/absolute.
+unsigned src_class(const Operand& op) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return 0;
+    case AddrMode::kIndirect:
+      return 1;
+    case AddrMode::kIndirectInc:
+      return 2;
+    case AddrMode::kImmediate:
+      // Constant-generator immediates cost nothing extra.
+      return constant_generator(op.value) ? 0 : 2;
+    case AddrMode::kIndexed:
+    case AddrMode::kSymbolic:
+    case AddrMode::kAbsolute:
+      return 3;
+  }
+  return 0;
+}
+
+bool is_mem_dst(const Operand& op) { return op.mode != AddrMode::kRegister; }
+
+}  // namespace
+
+unsigned instruction_cycles(const Instruction& insn) {
+  const auto& info = opcode_info(insn.op);
+
+  if (info.format == Format::kJump) return 2;
+
+  if (info.format == Format::kSingle) {
+    unsigned cls = src_class(insn.src);
+    switch (insn.op) {
+      case Opcode::kReti:
+        return kRetiCycles;
+      case Opcode::kPush: {
+        // Rn=3 @Rn=4 @Rn+=5 #N=4 X/sym/&=5
+        if (insn.src.mode == AddrMode::kImmediate && cls != 0) return 4;
+        constexpr unsigned t[4] = {3, 4, 5, 5};
+        return t[cls];
+      }
+      case Opcode::kCall: {
+        // Rn=4 @Rn=4 @Rn+=5 #N=5 X/sym=5 &=6
+        if (insn.src.mode == AddrMode::kAbsolute) return 6;
+        constexpr unsigned t[4] = {4, 4, 5, 5};
+        return t[cls];
+      }
+      default: {
+        // rrc/rra/swpb/sxt: Rn=1 @Rn=3 @Rn+=3 X/sym/&=4
+        constexpr unsigned t[4] = {1, 3, 3, 4};
+        return t[cls];
+      }
+    }
+  }
+
+  // Format I.
+  unsigned cls = src_class(insn.src);
+  if (is_mem_dst(insn.dst)) {
+    constexpr unsigned t[4] = {4, 5, 5, 6};
+    return t[cls];
+  }
+  if (insn.dst.mode == AddrMode::kRegister && insn.dst.reg == kPC) {
+    constexpr unsigned t[4] = {2, 2, 3, 3};
+    return t[cls];
+  }
+  constexpr unsigned t[4] = {1, 2, 2, 3};
+  return t[cls];
+}
+
+}  // namespace eilid::isa

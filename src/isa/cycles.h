@@ -1,0 +1,24 @@
+// MSP430 instruction timing, after the MSP430x1xx Family User's Guide
+// (SLAU049, Tables 3-14..3-16). The paper's run-time numbers are cycle
+// counts scaled by the device clock, so faithful per-addressing-mode
+// timing is what makes Table IV's run-time column meaningful.
+#ifndef EILID_ISA_CYCLES_H
+#define EILID_ISA_CYCLES_H
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace eilid::isa {
+
+// Cycles consumed by one execution of `insn`. Jumps cost 2 taken or
+// not. Constant-generator immediates time like register sources.
+unsigned instruction_cycles(const Instruction& insn);
+
+// Fixed costs used by the interrupt machinery.
+inline constexpr unsigned kInterruptAcceptCycles = 6;
+inline constexpr unsigned kRetiCycles = 5;
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_CYCLES_H

@@ -1,0 +1,142 @@
+#include "isa/decoder.h"
+
+#include "isa/registers.h"
+
+namespace eilid::isa {
+namespace {
+
+// Decode a source operand given its As/reg fields. `next` is the index
+// of the next unconsumed extension word in `words`; `ext_addr` is that
+// word's byte address.
+std::optional<Operand> decode_src(uint8_t as, uint8_t reg,
+                                  const std::array<uint16_t, 3>& words,
+                                  unsigned& next, uint16_t address) {
+  if (auto constant = constant_from_cg(reg, as)) {
+    return Operand::make_imm(*constant);
+  }
+  switch (as) {
+    case 0:
+      return Operand::make_reg(reg);
+    case 1: {
+      uint16_t ext = words[next];
+      uint16_t ext_addr = static_cast<uint16_t>(address + 2 * next);
+      ++next;
+      if (reg == kPC) {
+        return Operand::make_symbolic(static_cast<uint16_t>(ext + ext_addr));
+      }
+      if (reg == kSR) return Operand::make_absolute(ext);
+      return Operand::make_indexed(reg, static_cast<int16_t>(ext));
+    }
+    case 2:
+      return Operand::make_indirect(reg);
+    case 3:
+      if (reg == kPC) {
+        uint16_t ext = words[next];
+        ++next;
+        return Operand::make_imm(ext);
+      }
+      return Operand::make_indirect_inc(reg);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Operand> decode_dst(uint8_t ad, uint8_t reg,
+                                  const std::array<uint16_t, 3>& words,
+                                  unsigned& next, uint16_t address) {
+  if (ad == 0) return Operand::make_reg(reg);
+  uint16_t ext = words[next];
+  uint16_t ext_addr = static_cast<uint16_t>(address + 2 * next);
+  ++next;
+  if (reg == kPC) return Operand::make_symbolic(static_cast<uint16_t>(ext + ext_addr));
+  if (reg == kSR) return Operand::make_absolute(ext);
+  return Operand::make_indexed(reg, static_cast<int16_t>(ext));
+}
+
+constexpr Opcode kDoubleOps[12] = {
+    Opcode::kMov, Opcode::kAdd, Opcode::kAddc, Opcode::kSubc,
+    Opcode::kSub, Opcode::kCmp, Opcode::kDadd, Opcode::kBit,
+    Opcode::kBic, Opcode::kBis, Opcode::kXor,  Opcode::kAnd};
+
+constexpr Opcode kSingleOps[7] = {Opcode::kRrc, Opcode::kSwpb, Opcode::kRra,
+                                  Opcode::kSxt, Opcode::kPush, Opcode::kCall,
+                                  Opcode::kReti};
+
+constexpr Opcode kJumpOps[8] = {Opcode::kJnz, Opcode::kJz, Opcode::kJnc,
+                                Opcode::kJc,  Opcode::kJn, Opcode::kJge,
+                                Opcode::kJl,  Opcode::kJmp};
+
+}  // namespace
+
+std::optional<Decoded> decode(std::array<uint16_t, 3> words, uint16_t address) {
+  const uint16_t w = words[0];
+  const uint16_t top = static_cast<uint16_t>(w >> 12);
+
+  Decoded out;
+  out.address = address;
+
+  if (top >= 0x4) {
+    // Format I.
+    Instruction insn;
+    insn.op = kDoubleOps[top - 4];
+    insn.byte_mode = (w & 0x40) != 0;
+    uint8_t sreg = static_cast<uint8_t>((w >> 8) & 0xF);
+    uint8_t as = static_cast<uint8_t>((w >> 4) & 0x3);
+    uint8_t ad = static_cast<uint8_t>((w >> 7) & 0x1);
+    uint8_t dreg = static_cast<uint8_t>(w & 0xF);
+    unsigned next = 1;
+    auto src = decode_src(as, sreg, words, next, address);
+    if (!src) return std::nullopt;
+    auto dst = decode_dst(ad, dreg, words, next, address);
+    if (!dst) return std::nullopt;
+    insn.src = *src;
+    insn.dst = *dst;
+    out.insn = insn;
+    out.size_words = static_cast<uint8_t>(next);
+    return out;
+  }
+
+  if (top == 0x2 || top == 0x3) {
+    // Jump format.
+    Instruction insn;
+    insn.op = kJumpOps[(w >> 10) & 0x7];
+    int16_t offset = static_cast<int16_t>(w & 0x3FF);
+    if (offset & 0x200) offset = static_cast<int16_t>(offset - 0x400);
+    insn.jump_offset = offset;
+    out.insn = insn;
+    out.size_words = 1;
+    return out;
+  }
+
+  if ((w & 0xFC00) == 0x1000) {
+    // Format II.
+    uint8_t minor = static_cast<uint8_t>((w >> 7) & 0x7);
+    if (minor > 6) return std::nullopt;
+    Instruction insn;
+    insn.op = kSingleOps[minor];
+    insn.byte_mode = (w & 0x40) != 0;
+    if (!opcode_info(insn.op).allows_byte && insn.byte_mode) return std::nullopt;
+    uint8_t as = static_cast<uint8_t>((w >> 4) & 0x3);
+    uint8_t reg = static_cast<uint8_t>(w & 0xF);
+    unsigned next = 1;
+    if (insn.op == Opcode::kReti) {
+      insn.src = Operand::make_reg(0);
+    } else {
+      auto src = decode_src(as, reg, words, next, address);
+      if (!src) return std::nullopt;
+      insn.src = *src;
+      // rrc/rra/swpb/sxt need a writable operand; immediate is illegal.
+      if (insn.op != Opcode::kPush && insn.op != Opcode::kCall &&
+          insn.src.mode == AddrMode::kImmediate) {
+        return std::nullopt;
+      }
+    }
+    out.insn = insn;
+    out.size_words = static_cast<uint8_t>(next);
+    return out;
+  }
+
+  return std::nullopt;  // 0x0xxx and 0x14xx..0x1Fxx are unassigned
+}
+
+}  // namespace eilid::isa

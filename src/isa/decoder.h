@@ -1,0 +1,37 @@
+// Machine words -> Instruction. The decoder is the single source of
+// truth for instruction shape used by both the simulator's execute path
+// and the static analyses (CFG extraction, instrumenter address fixup).
+#ifndef EILID_ISA_DECODER_H
+#define EILID_ISA_DECODER_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.h"
+
+namespace eilid::isa {
+
+struct Decoded {
+  Instruction insn;
+  uint16_t address = 0;    // byte address of the first word
+  uint8_t size_words = 1;  // 1..3
+
+  // Byte address of the next sequential instruction.
+  uint16_t next_address() const {
+    return static_cast<uint16_t>(address + 2 * size_words);
+  }
+  // Jump target (only meaningful for jump-format instructions).
+  uint16_t jump_target() const {
+    return static_cast<uint16_t>(address + 2 + 2 * insn.jump_offset);
+  }
+};
+
+// Decode the instruction starting at `address` whose first up-to-three
+// words are `words`. Returns nullopt for illegal encodings (the
+// simulator maps that to an illegal-instruction trap).
+std::optional<Decoded> decode(std::array<uint16_t, 3> words, uint16_t address);
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_DECODER_H

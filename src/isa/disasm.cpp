@@ -1,0 +1,73 @@
+#include "isa/disasm.h"
+
+#include "common/hex.h"
+#include "isa/registers.h"
+
+namespace eilid::isa {
+
+std::string operand_text(const Operand& op) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return reg_name(op.reg);
+    case AddrMode::kIndexed: {
+      int32_t x = op.value;
+      std::string idx = (x < 0) ? ("-" + hex16(static_cast<uint16_t>(-x)))
+                                : hex16(static_cast<uint16_t>(x));
+      return idx + "(" + reg_name(op.reg) + ")";
+    }
+    case AddrMode::kSymbolic:
+      return hex16(static_cast<uint16_t>(op.value));
+    case AddrMode::kAbsolute:
+      return "&" + hex16(static_cast<uint16_t>(op.value));
+    case AddrMode::kIndirect:
+      return "@" + reg_name(op.reg);
+    case AddrMode::kIndirectInc:
+      return "@" + reg_name(op.reg) + "+";
+    case AddrMode::kImmediate: {
+      int32_t v = op.value;
+      if (v < 0) return "#-" + hex16(static_cast<uint16_t>(-v));
+      return "#" + hex16(static_cast<uint16_t>(v));
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+std::string mnemonic_text(const Instruction& insn) {
+  std::string m = opcode_info(insn.op).mnemonic;
+  if (insn.byte_mode) m += ".b";
+  return m;
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& insn) {
+  const auto& info = opcode_info(insn.op);
+  switch (info.format) {
+    case Format::kJump: {
+      // Offset relative to the instruction's own address, in bytes, as
+      // "$+0xNN" (the '$' convention matches common MSP430 assemblers).
+      int32_t delta = 2 + 2 * insn.jump_offset;
+      std::string d = (delta < 0) ? ("$-" + hex16(static_cast<uint16_t>(-delta)))
+                                  : ("$+" + hex16(static_cast<uint16_t>(delta)));
+      return mnemonic_text(insn) + " " + d;
+    }
+    case Format::kSingle:
+      if (insn.op == Opcode::kReti) return "reti";
+      return mnemonic_text(insn) + " " + operand_text(insn.src);
+    case Format::kDouble:
+      return mnemonic_text(insn) + " " + operand_text(insn.src) + ", " +
+             operand_text(insn.dst);
+  }
+  return "?";
+}
+
+std::string disassemble(const Decoded& decoded) {
+  if (opcode_info(decoded.insn.op).format == Format::kJump) {
+    return mnemonic_text(decoded.insn) + " " + hex16(decoded.jump_target());
+  }
+  return disassemble(decoded.insn);
+}
+
+}  // namespace eilid::isa

@@ -1,0 +1,27 @@
+// Disassembler producing canonical text that the assembler (src/masm)
+// accepts back verbatim -- round-tripping is a tested property and is
+// what lets the instrumenter splice generated code into listings.
+#ifndef EILID_ISA_DISASM_H
+#define EILID_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/decoder.h"
+#include "isa/instruction.h"
+
+namespace eilid::isa {
+
+// "mov #0x1234, r5" / "call #0xe000" / "jnz $-0x0006".
+// Jump targets are rendered PC-relative ("$+N") because the bare
+// instruction does not know label names.
+std::string disassemble(const Instruction& insn);
+
+// Same, but with jumps resolved to absolute targets using the decode
+// address: "jnz 0xe012".
+std::string disassemble(const Decoded& decoded);
+
+std::string operand_text(const Operand& op);
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_DISASM_H

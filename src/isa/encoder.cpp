@@ -1,0 +1,147 @@
+#include "isa/encoder.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "isa/registers.h"
+
+namespace eilid::isa {
+namespace {
+
+struct EncodedOperand {
+  uint8_t as;       // addressing bits (2 for src, 1 meaningful for dst)
+  uint8_t reg;      // register field
+  bool has_ext;     // occupies an extension word
+  uint16_t ext;     // extension word value (if has_ext)
+};
+
+// Encode a source operand. `ext_addr` is the address the extension word
+// would occupy (needed for symbolic displacement).
+EncodedOperand encode_src(const Operand& op, uint16_t ext_addr, bool allow_cg) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return {0, op.reg, false, 0};
+    case AddrMode::kIndexed:
+      if (op.reg == kPC || op.reg == kSR || op.reg == kCG2) {
+        throw Error("indexed source may not use r0/r2/r3 (use symbolic/absolute)");
+      }
+      return {1, op.reg, true, static_cast<uint16_t>(op.value)};
+    case AddrMode::kSymbolic:
+      return {1, kPC, true,
+              static_cast<uint16_t>(static_cast<uint16_t>(op.value) - ext_addr)};
+    case AddrMode::kAbsolute:
+      return {1, kSR, true, static_cast<uint16_t>(op.value)};
+    case AddrMode::kIndirect:
+      if (op.reg == kSR || op.reg == kCG2) {
+        throw Error("@r2/@r3 are constant-generator encodings, not operands");
+      }
+      return {2, op.reg, false, 0};
+    case AddrMode::kIndirectInc:
+      if (op.reg == kPC || op.reg == kSR || op.reg == kCG2) {
+        throw Error("@Rn+ source may not use r0/r2/r3");
+      }
+      return {3, op.reg, false, 0};
+    case AddrMode::kImmediate: {
+      if (allow_cg) {
+        if (auto cg = constant_generator(op.value)) {
+          return {cg->as, cg->reg, false, 0};
+        }
+      }
+      return {3, kPC, true, static_cast<uint16_t>(op.value)};
+    }
+  }
+  throw Error("unreachable: bad source mode");
+}
+
+EncodedOperand encode_dst(const Operand& op, uint16_t ext_addr) {
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return {0, op.reg, false, 0};
+    case AddrMode::kIndexed:
+      if (op.reg == kPC || op.reg == kSR) {
+        throw Error("indexed destination may not use r0/r2 (use symbolic/absolute)");
+      }
+      return {1, op.reg, true, static_cast<uint16_t>(op.value)};
+    case AddrMode::kSymbolic:
+      return {1, kPC, true,
+              static_cast<uint16_t>(static_cast<uint16_t>(op.value) - ext_addr)};
+    case AddrMode::kAbsolute:
+      return {1, kSR, true, static_cast<uint16_t>(op.value)};
+    default:
+      throw Error("destination must be register/indexed/symbolic/absolute");
+  }
+}
+
+}  // namespace
+
+unsigned encoded_size_words(const Instruction& insn, EncodeOptions opts) {
+  const auto& info = opcode_info(insn.op);
+  const auto src_is_cg = [&](const Operand& op) {
+    return opts.allow_cg && op.mode == AddrMode::kImmediate &&
+           constant_generator(op.value).has_value();
+  };
+  switch (info.format) {
+    case Format::kJump:
+      return 1;
+    case Format::kSingle: {
+      if (insn.op == Opcode::kReti) return 1;
+      if (src_is_cg(insn.src)) return 1;
+      return 1 + (insn.src.needs_ext_word() ? 1u : 0u);
+    }
+    case Format::kDouble: {
+      unsigned words = 1;
+      if (insn.src.needs_ext_word() && !src_is_cg(insn.src)) ++words;
+      if (insn.dst.needs_ext_word()) ++words;
+      return words;
+    }
+  }
+  return 1;
+}
+
+std::vector<uint16_t> encode(const Instruction& insn, uint16_t address,
+                             EncodeOptions opts) {
+  const auto& info = opcode_info(insn.op);
+  if (insn.byte_mode && !info.allows_byte) {
+    throw Error(std::string(info.mnemonic) + " has no byte form");
+  }
+
+  std::vector<uint16_t> words;
+  switch (info.format) {
+    case Format::kJump: {
+      if (insn.jump_offset < -512 || insn.jump_offset > 511) {
+        throw Error("jump offset out of range: " + std::to_string(insn.jump_offset));
+      }
+      words.push_back(static_cast<uint16_t>(
+          0x2000 | (info.bits << 10) |
+          (static_cast<uint16_t>(insn.jump_offset) & 0x3FF)));
+      return words;
+    }
+    case Format::kSingle: {
+      Operand src = insn.src;
+      if (insn.op == Opcode::kReti) src = Operand::make_reg(0);
+      auto enc = encode_src(src, static_cast<uint16_t>(address + 2), opts.allow_cg);
+      words.push_back(static_cast<uint16_t>(
+          0x1000 | (info.bits << 7) | (insn.byte_mode ? 0x40 : 0) |
+          (enc.as << 4) | enc.reg));
+      if (enc.has_ext) words.push_back(enc.ext);
+      return words;
+    }
+    case Format::kDouble: {
+      auto src = encode_src(insn.src, static_cast<uint16_t>(address + 2),
+                            opts.allow_cg);
+      // The destination extension word sits after the source's (if any).
+      uint16_t dst_ext_addr =
+          static_cast<uint16_t>(address + 2 + (src.has_ext ? 2 : 0));
+      auto dst = encode_dst(insn.dst, dst_ext_addr);
+      uint8_t ad = (dst.as != 0) ? 1 : 0;
+      words.push_back(static_cast<uint16_t>(
+          (static_cast<uint16_t>(info.bits) << 12) | (src.reg << 8) | (ad << 7) |
+          (insn.byte_mode ? 0x40 : 0) | (src.as << 4) | dst.reg));
+      if (src.has_ext) words.push_back(src.ext);
+      if (dst.has_ext) words.push_back(dst.ext);
+      return words;
+    }
+  }
+  throw Error("unreachable: bad format");
+}
+
+}  // namespace eilid::isa

@@ -1,0 +1,34 @@
+// Instruction -> machine words. The encoder is address-aware because
+// symbolic operands (X(PC)) store a PC-relative displacement whose base
+// is the address of the extension word itself.
+#ifndef EILID_ISA_ENCODER_H
+#define EILID_ISA_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace eilid::isa {
+
+struct EncodeOptions {
+  // When false, immediates are always emitted as @PC+ with an extension
+  // word even if a constant generator could encode them. The assembler
+  // disables compression for symbolic immediates so that pass-1 sizing
+  // and pass-2 encoding agree regardless of what a symbol resolves to.
+  bool allow_cg = true;
+};
+
+// Number of words (1..3) the instruction occupies, accounting for
+// constant-generator compression of immediates.
+unsigned encoded_size_words(const Instruction& insn, EncodeOptions opts = {});
+
+// Encode at `address` (byte address of the first word, must be even).
+// Throws eilid::Error on unencodable operand combinations (e.g. jump
+// offset out of range, @r3 source, indexed r0 destination).
+std::vector<uint16_t> encode(const Instruction& insn, uint16_t address,
+                             EncodeOptions opts = {});
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_ENCODER_H

@@ -1,0 +1,53 @@
+// Decoded/encodable MSP430 instruction.
+#ifndef EILID_ISA_INSTRUCTION_H
+#define EILID_ISA_INSTRUCTION_H
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+#include "isa/operand.h"
+
+namespace eilid::isa {
+
+struct Instruction {
+  Opcode op = Opcode::kMov;
+  bool byte_mode = false;  // .b suffix (operates on low byte)
+
+  // Format I uses src and dst; Format II uses src only (kReti uses
+  // neither); jumps use jump_offset only.
+  Operand src;
+  Operand dst;
+
+  // Signed word offset for jumps: target = address + 2 + 2*jump_offset.
+  // Range -512..+511 words.
+  int16_t jump_offset = 0;
+
+  bool operator==(const Instruction&) const = default;
+
+  static Instruction jump(Opcode op, int16_t offset) {
+    Instruction insn;
+    insn.op = op;
+    insn.jump_offset = offset;
+    return insn;
+  }
+  static Instruction single(Opcode op, Operand src, bool byte_mode = false) {
+    Instruction insn;
+    insn.op = op;
+    insn.src = src;
+    insn.byte_mode = byte_mode;
+    return insn;
+  }
+  static Instruction double_op(Opcode op, Operand src, Operand dst,
+                               bool byte_mode = false) {
+    Instruction insn;
+    insn.op = op;
+    insn.src = src;
+    insn.dst = dst;
+    insn.byte_mode = byte_mode;
+    return insn;
+  }
+};
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_INSTRUCTION_H

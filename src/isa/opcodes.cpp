@@ -1,0 +1,64 @@
+#include "isa/opcodes.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace eilid::isa {
+namespace {
+
+// Order must match the Opcode enumerator order exactly.
+constexpr std::array<OpcodeInfo, 27> kTable = {{
+    {Opcode::kMov, Format::kDouble, "mov", 0x4, true},
+    {Opcode::kAdd, Format::kDouble, "add", 0x5, true},
+    {Opcode::kAddc, Format::kDouble, "addc", 0x6, true},
+    {Opcode::kSubc, Format::kDouble, "subc", 0x7, true},
+    {Opcode::kSub, Format::kDouble, "sub", 0x8, true},
+    {Opcode::kCmp, Format::kDouble, "cmp", 0x9, true},
+    {Opcode::kDadd, Format::kDouble, "dadd", 0xA, true},
+    {Opcode::kBit, Format::kDouble, "bit", 0xB, true},
+    {Opcode::kBic, Format::kDouble, "bic", 0xC, true},
+    {Opcode::kBis, Format::kDouble, "bis", 0xD, true},
+    {Opcode::kXor, Format::kDouble, "xor", 0xE, true},
+    {Opcode::kAnd, Format::kDouble, "and", 0xF, true},
+    // Format II: bits = the 3-bit minor opcode (instruction bits 9..7).
+    {Opcode::kRrc, Format::kSingle, "rrc", 0x0, true},
+    {Opcode::kSwpb, Format::kSingle, "swpb", 0x1, false},
+    {Opcode::kRra, Format::kSingle, "rra", 0x2, true},
+    {Opcode::kSxt, Format::kSingle, "sxt", 0x3, false},
+    {Opcode::kPush, Format::kSingle, "push", 0x4, true},
+    {Opcode::kCall, Format::kSingle, "call", 0x5, false},
+    {Opcode::kReti, Format::kSingle, "reti", 0x6, false},
+    // Jumps: bits = the 3-bit condition code (instruction bits 12..10).
+    {Opcode::kJnz, Format::kJump, "jnz", 0x0, false},
+    {Opcode::kJz, Format::kJump, "jz", 0x1, false},
+    {Opcode::kJnc, Format::kJump, "jnc", 0x2, false},
+    {Opcode::kJc, Format::kJump, "jc", 0x3, false},
+    {Opcode::kJn, Format::kJump, "jn", 0x4, false},
+    {Opcode::kJge, Format::kJump, "jge", 0x5, false},
+    {Opcode::kJl, Format::kJump, "jl", 0x6, false},
+    {Opcode::kJmp, Format::kJump, "jmp", 0x7, false},
+}};
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) { return kTable[static_cast<size_t>(op)]; }
+
+std::optional<Opcode> opcode_from_mnemonic(const std::string& mnemonic) {
+  static const std::unordered_map<std::string, Opcode> kMap = [] {
+    std::unordered_map<std::string, Opcode> m;
+    for (const auto& info : kTable) m.emplace(info.mnemonic, info.op);
+    // Architectural aliases.
+    m.emplace("jne", Opcode::kJnz);
+    m.emplace("jeq", Opcode::kJz);
+    m.emplace("jlo", Opcode::kJnc);
+    m.emplace("jhs", Opcode::kJc);
+    return m;
+  }();
+  auto it = kMap.find(to_lower(mnemonic));
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace eilid::isa

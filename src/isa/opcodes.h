@@ -1,0 +1,46 @@
+// MSP430 opcode space: 12 double-operand (Format I), 7 single-operand
+// (Format II) and 8 relative-jump instructions. Emulated mnemonics
+// (ret, pop, br, nop, clr, ...) are expanded by the assembler front end
+// (src/masm) and never appear at this layer.
+#ifndef EILID_ISA_OPCODES_H
+#define EILID_ISA_OPCODES_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace eilid::isa {
+
+enum class Format : uint8_t { kDouble, kSingle, kJump };
+
+enum class Opcode : uint8_t {
+  // Format I (two-operand); encoding nibble 0x4..0xF.
+  kMov, kAdd, kAddc, kSubc, kSub, kCmp, kDadd, kBit, kBic, kBis, kXor, kAnd,
+  // Format II (one-operand); encoded under 000100 prefix.
+  kRrc, kSwpb, kRra, kSxt, kPush, kCall, kReti,
+  // Conditional/unconditional jumps; encoded under 001 prefix.
+  kJnz, kJz, kJnc, kJc, kJn, kJge, kJl, kJmp,
+};
+
+struct OpcodeInfo {
+  Opcode op;
+  Format format;
+  const char* mnemonic;  // canonical lowercase spelling
+  uint16_t bits;         // format-specific major opcode bits
+  bool allows_byte;      // supports the .b suffix
+};
+
+// Metadata for every opcode; indexed by static_cast<size_t>(op).
+const OpcodeInfo& opcode_info(Opcode op);
+
+// Lookup by mnemonic (lowercase, no .b suffix). Also accepts the
+// aliases jne (jnz), jeq (jz), jlo (jnc), jhs (jc).
+std::optional<Opcode> opcode_from_mnemonic(const std::string& mnemonic);
+
+inline bool is_jump(Opcode op) { return opcode_info(op).format == Format::kJump; }
+inline bool is_single(Opcode op) { return opcode_info(op).format == Format::kSingle; }
+inline bool is_double(Opcode op) { return opcode_info(op).format == Format::kDouble; }
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_OPCODES_H

@@ -1,0 +1,44 @@
+#include "isa/operand.h"
+
+#include "isa/registers.h"
+
+namespace eilid::isa {
+
+std::optional<CgEncoding> constant_generator(int32_t value) {
+  // -1 may arrive as the 16-bit pattern 0xFFFF.
+  if (value == 0xFFFF) value = -1;
+  switch (value) {
+    case 0:
+      return CgEncoding{kCG2, 0};
+    case 1:
+      return CgEncoding{kCG2, 1};
+    case 2:
+      return CgEncoding{kCG2, 2};
+    case -1:
+      return CgEncoding{kCG2, 3};
+    case 4:
+      return CgEncoding{kSR, 2};
+    case 8:
+      return CgEncoding{kSR, 3};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<int32_t> constant_from_cg(uint8_t reg, uint8_t as) {
+  if (reg == kCG2) {
+    switch (as) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return 2;
+      case 3: return -1;
+    }
+  }
+  if (reg == kSR) {
+    if (as == 2) return 4;
+    if (as == 3) return 8;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eilid::isa

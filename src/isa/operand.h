@@ -1,0 +1,80 @@
+// MSP430 addressing modes and operand representation.
+//
+// Source operands use the 2-bit As field plus register number; the
+// constant generators (r2 with As>=2, r3 with any As) encode the six
+// common constants -1, 0, 1, 2, 4, 8 without an extension word. The
+// encoder chooses constant-generator encodings automatically; the
+// decoder reports them back as plain immediates so that
+// encode(decode(x)) == x holds for all legal words.
+#ifndef EILID_ISA_OPERAND_H
+#define EILID_ISA_OPERAND_H
+
+#include <cstdint>
+#include <optional>
+
+namespace eilid::isa {
+
+enum class AddrMode : uint8_t {
+  kRegister,     // Rn         As=00 / Ad=0
+  kIndexed,      // X(Rn)      As=01 / Ad=1
+  kSymbolic,     // ADDR       X(PC): extension word holds ADDR - (&extword)
+  kAbsolute,     // &ADDR      X(SR): extension word holds ADDR
+  kIndirect,     // @Rn        As=10 (source only)
+  kIndirectInc,  // @Rn+       As=11 (source only)
+  kImmediate,    // #N         @PC+ (source only)
+};
+
+struct Operand {
+  AddrMode mode = AddrMode::kRegister;
+  uint8_t reg = 0;    // register field (meaningless for immediate/absolute)
+  int32_t value = 0;  // index X, immediate N, or absolute address
+
+  // True when this operand occupies an extension word in its canonical
+  // (non-constant-generator) encoding.
+  bool needs_ext_word() const {
+    switch (mode) {
+      case AddrMode::kIndexed:
+      case AddrMode::kSymbolic:
+      case AddrMode::kAbsolute:
+      case AddrMode::kImmediate:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static Operand make_reg(uint8_t reg) { return {AddrMode::kRegister, reg, 0}; }
+  static Operand make_imm(int32_t value) { return {AddrMode::kImmediate, 0, value}; }
+  static Operand make_indexed(uint8_t reg, int32_t offset) {
+    return {AddrMode::kIndexed, reg, offset};
+  }
+  static Operand make_absolute(uint16_t addr) {
+    return {AddrMode::kAbsolute, 0, static_cast<int32_t>(addr)};
+  }
+  static Operand make_indirect(uint8_t reg) { return {AddrMode::kIndirect, reg, 0}; }
+  static Operand make_indirect_inc(uint8_t reg) {
+    return {AddrMode::kIndirectInc, reg, 0};
+  }
+  static Operand make_symbolic(uint16_t addr) {
+    return {AddrMode::kSymbolic, 0, static_cast<int32_t>(addr)};
+  }
+
+  bool operator==(const Operand&) const = default;
+};
+
+// If `value` is representable by a constant generator, returns the
+// (reg, as) encoding; otherwise nullopt. Values: 0,1,2 via r3 As=0..2,
+// -1 via r3 As=3, 4 via r2 As=2, 8 via r2 As=3.
+struct CgEncoding {
+  uint8_t reg;
+  uint8_t as;
+};
+std::optional<CgEncoding> constant_generator(int32_t value);
+
+// Reverse mapping used by the decoder: (reg, as) -> constant, if the
+// pair denotes a generated constant.
+std::optional<int32_t> constant_from_cg(uint8_t reg, uint8_t as);
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_OPERAND_H

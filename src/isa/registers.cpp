@@ -1,0 +1,26 @@
+#include "isa/registers.h"
+
+#include "common/strings.h"
+
+namespace eilid::isa {
+
+std::string reg_name(uint8_t reg) { return "r" + std::to_string(reg); }
+
+int parse_reg(const std::string& text) {
+  std::string t = to_lower(text);
+  if (t == "pc") return kPC;
+  if (t == "sp") return kSP;
+  if (t == "sr") return kSR;
+  if (t.size() >= 2 && t[0] == 'r') {
+    int n = 0;
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (t[i] < '0' || t[i] > '9') return -1;
+      n = n * 10 + (t[i] - '0');
+      if (n > 15) return -1;
+    }
+    return n;
+  }
+  return -1;
+}
+
+}  // namespace eilid::isa

@@ -1,0 +1,43 @@
+// MSP430 register file and status-register bit definitions.
+//
+// The MSP430 has sixteen 16-bit registers. r0..r3 have architectural
+// roles (PC, SP, SR/CG1, CG2); r4..r15 are general purpose. EILID
+// additionally *reserves* r4..r7 by software convention (paper Table
+// III) -- that reservation lives in src/eilid, not here.
+#ifndef EILID_ISA_REGISTERS_H
+#define EILID_ISA_REGISTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace eilid::isa {
+
+inline constexpr uint8_t kPC = 0;   // program counter (r0)
+inline constexpr uint8_t kSP = 1;   // stack pointer (r1)
+inline constexpr uint8_t kSR = 2;   // status register / constant generator 1 (r2)
+inline constexpr uint8_t kCG2 = 3;  // constant generator 2 (r3)
+inline constexpr uint8_t kNumRegs = 16;
+
+// Status-register flag bits.
+namespace sr {
+inline constexpr uint16_t kC = 0x0001;       // carry
+inline constexpr uint16_t kZ = 0x0002;       // zero
+inline constexpr uint16_t kN = 0x0004;       // negative
+inline constexpr uint16_t kGIE = 0x0008;     // general interrupt enable
+inline constexpr uint16_t kCpuOff = 0x0010;  // low-power: CPU halted
+inline constexpr uint16_t kOscOff = 0x0020;
+inline constexpr uint16_t kScg0 = 0x0040;
+inline constexpr uint16_t kScg1 = 0x0080;
+inline constexpr uint16_t kV = 0x0100;       // overflow
+}  // namespace sr
+
+// Canonical register spelling for the assembler/disassembler: r0..r15,
+// with pc/sp/sr accepted as aliases on input.
+std::string reg_name(uint8_t reg);
+
+// Parse "r7", "R12", "pc", "sp", "sr". Returns 0..15 or -1 if invalid.
+int parse_reg(const std::string& text);
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_REGISTERS_H

@@ -1,0 +1,454 @@
+#include "masm/assembler.h"
+
+#include <optional>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/strings.h"
+#include "isa/encoder.h"
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+#include "masm/emulated.h"
+#include "masm/parser.h"
+
+namespace eilid::masm {
+namespace {
+
+struct SizedStatement {
+  Statement stmt;
+  uint16_t address = 0;
+  unsigned size_bytes = 0;
+  bool emits = false;
+};
+
+std::string unescape(const std::string& quoted, const std::string& file,
+                     int line_no) {
+  std::string t = trim(quoted);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
+    throw AsmError(file, line_no, "expected quoted string");
+  }
+  std::string out;
+  for (size_t i = 1; i + 1 < t.size(); ++i) {
+    char c = t[i];
+    if (c == '\\' && i + 2 < t.size()) {
+      ++i;
+      switch (t[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case '0': out.push_back('\0'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default:
+          throw AsmError(file, line_no, std::string("bad escape: \\") + t[i]);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class Unit {
+ public:
+  Unit(const std::vector<std::string>& lines, std::string name)
+      : name_(std::move(name)) {
+    pass1(lines);
+    pass2();
+  }
+
+  AssembledUnit take() && {
+    AssembledUnit out;
+    out.name = name_;
+    out.image = std::move(image_);
+    out.listing = std::move(listing_);
+    out.symbols = std::move(symbols_);
+    out.globals = std::move(globals_);
+    out.func_symbols = std::move(func_symbols_);
+    out.vectors = std::move(vectors_);
+    return out;
+  }
+
+ private:
+  void define_symbol(const std::string& sym, uint16_t value, int line_no) {
+    auto [it, inserted] = symbols_.emplace(sym, value);
+    (void)it;
+    if (!inserted) {
+      throw AsmError(name_, line_no, "duplicate symbol: " + sym);
+    }
+  }
+
+  uint16_t resolve(const Expr& expr, uint16_t here, int line_no) const {
+    if (expr.is_literal()) return static_cast<uint16_t>(expr.offset);
+    uint16_t base;
+    if (expr.symbol == "$") {
+      base = here;
+    } else {
+      auto it = symbols_.find(expr.symbol);
+      if (it == symbols_.end()) {
+        throw AsmError(name_, line_no, "undefined symbol: " + expr.symbol);
+      }
+      base = it->second;
+    }
+    return static_cast<uint16_t>(base + expr.offset);
+  }
+
+  // Whether an operand expression occupies an extension word; symbolic
+  // immediates never compress to constant generators (see header).
+  static bool needs_ext(const OperandExpr& op) {
+    using K = OperandExpr::Kind;
+    switch (op.kind) {
+      case K::kReg:
+      case K::kIndirect:
+      case K::kIndirectInc:
+        return false;
+      case K::kImmediate:
+        if (op.expr.is_literal() &&
+            isa::constant_generator(op.expr.offset).has_value()) {
+          return false;
+        }
+        return true;
+      case K::kIndexed:
+      case K::kAbsolute:
+      case K::kSymbolic:
+        return true;
+    }
+    return true;
+  }
+
+  unsigned instruction_size(const Statement& stmt) const {
+    auto op = isa::opcode_from_mnemonic(stmt.mnemonic);
+    if (!op) {
+      throw AsmError(name_, stmt.line_no, "unknown mnemonic: " + stmt.mnemonic);
+    }
+    const auto& info = isa::opcode_info(*op);
+    switch (info.format) {
+      case isa::Format::kJump:
+        if (stmt.operands.size() != 1) {
+          throw AsmError(name_, stmt.line_no, stmt.mnemonic + " needs one operand");
+        }
+        return 2;
+      case isa::Format::kSingle: {
+        if (*op == isa::Opcode::kReti) {
+          if (!stmt.operands.empty()) {
+            throw AsmError(name_, stmt.line_no, "reti takes no operands");
+          }
+          return 2;
+        }
+        if (stmt.operands.size() != 1) {
+          throw AsmError(name_, stmt.line_no, stmt.mnemonic + " needs one operand");
+        }
+        return 2 + (needs_ext(stmt.operands[0]) ? 2u : 0u);
+      }
+      case isa::Format::kDouble: {
+        if (stmt.operands.size() != 2) {
+          throw AsmError(name_, stmt.line_no, stmt.mnemonic + " needs two operands");
+        }
+        return 2 + (needs_ext(stmt.operands[0]) ? 2u : 0u) +
+               (needs_ext(stmt.operands[1]) ? 2u : 0u);
+      }
+    }
+    return 2;
+  }
+
+  // Lower a resolved operand expression to an ISA operand.
+  isa::Operand lower(const OperandExpr& op, uint16_t here, int line_no) const {
+    using K = OperandExpr::Kind;
+    switch (op.kind) {
+      case K::kReg:
+        return isa::Operand::make_reg(op.reg);
+      case K::kImmediate: {
+        if (op.expr.is_literal()) return isa::Operand::make_imm(op.expr.offset);
+        return isa::Operand::make_imm(resolve(op.expr, here, line_no));
+      }
+      case K::kIndexed: {
+        int32_t x = op.expr.is_literal()
+                        ? op.expr.offset
+                        : static_cast<int16_t>(resolve(op.expr, here, line_no));
+        return isa::Operand::make_indexed(op.reg, x);
+      }
+      case K::kIndirect:
+        return isa::Operand::make_indirect(op.reg);
+      case K::kIndirectInc:
+        return isa::Operand::make_indirect_inc(op.reg);
+      case K::kAbsolute:
+        return isa::Operand::make_absolute(resolve(op.expr, here, line_no));
+      case K::kSymbolic:
+        return isa::Operand::make_symbolic(resolve(op.expr, here, line_no));
+    }
+    throw AsmError(name_, line_no, "unreachable operand kind");
+  }
+
+  void pass1(const std::vector<std::string>& lines) {
+    uint32_t lc = 0;
+    bool org_seen = false;
+    bool ended = false;
+    int line_no = 0;
+    for (const auto& raw : lines) {
+      ++line_no;
+      if (ended) break;
+      Statement stmt = parse_line(raw, name_, line_no);
+      if (stmt.kind == Statement::Kind::kInstruction) {
+        expand_emulated(stmt, name_);
+      }
+
+      SizedStatement sized;
+      sized.address = static_cast<uint16_t>(lc);
+
+      if (!stmt.label.empty()) {
+        define_symbol(stmt.label, static_cast<uint16_t>(lc), line_no);
+      }
+
+      switch (stmt.kind) {
+        case Statement::Kind::kEmpty:
+          break;
+        case Statement::Kind::kInstruction: {
+          if (!org_seen) {
+            throw AsmError(name_, line_no, "code before .org");
+          }
+          if (lc % 2 != 0) {
+            throw AsmError(name_, line_no,
+                           "instruction at odd address (insert .align 2 "
+                           "after odd-sized data)");
+          }
+          sized.size_bytes = instruction_size(stmt);
+          sized.emits = true;
+          break;
+        }
+        case Statement::Kind::kDirective: {
+          const std::string& d = stmt.directive;
+          if (d == "org") {
+            if (stmt.args.size() != 1) {
+              throw AsmError(name_, line_no, ".org needs one literal argument");
+            }
+            Expr e = parse_expr(stmt.args[0], name_, line_no);
+            if (!e.is_literal()) {
+              throw AsmError(name_, line_no, ".org argument must be literal");
+            }
+            lc = static_cast<uint16_t>(e.offset);
+            sized.address = static_cast<uint16_t>(lc);
+            org_seen = true;
+            // A label on the .org line binds to the *new* address.
+            if (!stmt.label.empty()) symbols_[stmt.label] = static_cast<uint16_t>(lc);
+          } else if (d == "word") {
+            sized.size_bytes = static_cast<unsigned>(2 * stmt.args.size());
+            sized.emits = true;
+          } else if (d == "byte") {
+            sized.size_bytes = static_cast<unsigned>(stmt.args.size());
+            sized.emits = true;
+          } else if (d == "ascii" || d == "asciz") {
+            std::string s = unescape(stmt.args.empty() ? "\"\"" : stmt.args[0],
+                                     name_, line_no);
+            sized.size_bytes =
+                static_cast<unsigned>(s.size() + (d == "asciz" ? 1 : 0));
+            sized.emits = true;
+          } else if (d == "space") {
+            Expr e = parse_expr(stmt.args.at(0), name_, line_no);
+            if (!e.is_literal() || e.offset < 0) {
+              throw AsmError(name_, line_no, ".space needs a literal size");
+            }
+            sized.size_bytes = static_cast<unsigned>(e.offset);
+            sized.emits = true;
+          } else if (d == "align") {
+            Expr e = parse_expr(stmt.args.at(0), name_, line_no);
+            if (!e.is_literal() || e.offset <= 0) {
+              throw AsmError(name_, line_no, ".align needs a literal boundary");
+            }
+            unsigned boundary = static_cast<unsigned>(e.offset);
+            sized.size_bytes = static_cast<unsigned>((boundary - lc % boundary) % boundary);
+            sized.emits = sized.size_bytes > 0;
+          } else if (d == "equ") {
+            if (stmt.args.size() != 2) {
+              throw AsmError(name_, line_no, ".equ NAME, VALUE");
+            }
+            Expr e = parse_expr(stmt.args[1], name_, line_no);
+            uint16_t value = e.is_literal()
+                                 ? static_cast<uint16_t>(e.offset)
+                                 : resolve(e, static_cast<uint16_t>(lc), line_no);
+            define_symbol(stmt.args[0], value, line_no);
+          } else if (d == "global") {
+            for (const auto& g : stmt.args) globals_.push_back(g);
+          } else if (d == "func") {
+            for (const auto& f : stmt.args) func_symbols_.push_back(f);
+          } else if (d == "vector") {
+            if (stmt.args.size() != 2) {
+              throw AsmError(name_, line_no, ".vector SLOT, HANDLER");
+            }
+            Expr slot = parse_expr(stmt.args[0], name_, line_no);
+            if (!slot.is_literal() || slot.offset < 0 || slot.offset > 15) {
+              throw AsmError(name_, line_no, "vector slot must be 0..15");
+            }
+            vectors_[slot.offset] = stmt.args[1];
+          } else if (d == "end") {
+            ended = true;
+          } else {
+            throw AsmError(name_, line_no, "unknown directive: ." + d);
+          }
+          break;
+        }
+      }
+      lc += sized.size_bytes;
+      if (lc > 0x10000) {
+        throw AsmError(name_, line_no, "location counter overflowed 64KB");
+      }
+      sized.stmt = std::move(stmt);
+      sized_.push_back(std::move(sized));
+    }
+  }
+
+  void pass2() {
+    listing_.unit_name = name_;
+    for (const auto& sized : sized_) {
+      const Statement& stmt = sized.stmt;
+      ListingLine line;
+      line.line_no = stmt.line_no;
+      line.address = sized.address;
+      line.source = stmt.text;
+      line.label = stmt.label;
+
+      if (stmt.kind == Statement::Kind::kInstruction) {
+        line.is_instruction = true;
+        line.mnemonic = stmt.mnemonic;
+        auto opcode = *isa::opcode_from_mnemonic(stmt.mnemonic);
+        const auto& info = isa::opcode_info(opcode);
+        isa::Instruction insn;
+        insn.op = opcode;
+        insn.byte_mode = stmt.byte_suffix;
+        isa::EncodeOptions opts;
+
+        if (info.format == isa::Format::kJump) {
+          const auto& target_op = stmt.operands[0];
+          uint16_t target;
+          if (target_op.kind == OperandExpr::Kind::kSymbolic ||
+              target_op.kind == OperandExpr::Kind::kImmediate) {
+            target = resolve(target_op.expr, sized.address, stmt.line_no);
+          } else {
+            throw AsmError(name_, stmt.line_no, "bad jump target");
+          }
+          int32_t delta = static_cast<int32_t>(target) -
+                          (static_cast<int32_t>(sized.address) + 2);
+          if (delta % 2 != 0) {
+            throw AsmError(name_, stmt.line_no, "odd jump target");
+          }
+          int32_t words = delta / 2;
+          if (words < -512 || words > 511) {
+            throw AsmError(name_, stmt.line_no,
+                           "jump out of range (" + std::to_string(delta) +
+                               " bytes); use br");
+          }
+          insn.jump_offset = static_cast<int16_t>(words);
+        } else if (info.format == isa::Format::kSingle) {
+          if (opcode != isa::Opcode::kReti) {
+            insn.src = lower(stmt.operands[0], sized.address, stmt.line_no);
+            opts.allow_cg = !needs_ext(stmt.operands[0]) ||
+                            insn.src.mode != isa::AddrMode::kImmediate;
+          }
+        } else {
+          insn.src = lower(stmt.operands[0], sized.address, stmt.line_no);
+          insn.dst = lower(stmt.operands[1], sized.address, stmt.line_no);
+          opts.allow_cg = !needs_ext(stmt.operands[0]) ||
+                          insn.src.mode != isa::AddrMode::kImmediate;
+        }
+
+        std::vector<uint16_t> words;
+        try {
+          words = isa::encode(insn, sized.address, opts);
+        } catch (const Error& e) {
+          throw AsmError(name_, stmt.line_no, e.what());
+        }
+        if (2 * words.size() != sized.size_bytes) {
+          throw AsmError(name_, stmt.line_no,
+                         "internal sizing mismatch (pass1 " +
+                             std::to_string(sized.size_bytes) + "B, pass2 " +
+                             std::to_string(2 * words.size()) + "B)");
+        }
+        uint16_t addr = sized.address;
+        for (uint16_t w : words) {
+          image_.emit_word(addr, w);
+          line.bytes.push_back(static_cast<uint8_t>(w));
+          line.bytes.push_back(static_cast<uint8_t>(w >> 8));
+          addr = static_cast<uint16_t>(addr + 2);
+        }
+      } else if (stmt.kind == Statement::Kind::kDirective && sized.emits) {
+        const std::string& d = stmt.directive;
+        uint16_t addr = sized.address;
+        auto emit = [&](uint8_t b) {
+          image_.emit_byte(addr, b);
+          line.bytes.push_back(b);
+          addr = static_cast<uint16_t>(addr + 1);
+        };
+        if (d == "word") {
+          for (const auto& arg : stmt.args) {
+            Expr e = parse_expr(arg, name_, stmt.line_no);
+            uint16_t v = resolve(e, sized.address, stmt.line_no);
+            emit(static_cast<uint8_t>(v));
+            emit(static_cast<uint8_t>(v >> 8));
+          }
+        } else if (d == "byte") {
+          for (const auto& arg : stmt.args) {
+            Expr e = parse_expr(arg, name_, stmt.line_no);
+            uint16_t v = resolve(e, sized.address, stmt.line_no);
+            emit(static_cast<uint8_t>(v));
+          }
+        } else if (d == "ascii" || d == "asciz") {
+          std::string s = unescape(stmt.args.empty() ? "\"\"" : stmt.args[0],
+                                   name_, stmt.line_no);
+          for (char c : s) emit(static_cast<uint8_t>(c));
+          if (d == "asciz") emit(0);
+        } else if (d == "space" || d == "align") {
+          for (unsigned i = 0; i < sized.size_bytes; ++i) emit(0);
+        }
+      }
+
+      listing_.lines.push_back(std::move(line));
+    }
+
+    // Install interrupt vectors.
+    for (const auto& [slot, handler] : vectors_) {
+      auto it = symbols_.find(handler);
+      if (it == symbols_.end()) {
+        throw AsmError(name_, 0, "vector handler undefined: " + handler);
+      }
+      image_.emit_word(static_cast<uint16_t>(0xFFE0 + 2 * slot), it->second);
+    }
+
+    listing_.symbols = symbols_;
+  }
+
+  std::string name_;
+  std::vector<SizedStatement> sized_;
+  std::map<std::string, uint16_t> symbols_;
+  std::vector<std::string> globals_;
+  std::vector<std::string> func_symbols_;
+  std::map<int, std::string> vectors_;
+  MemoryImage image_;
+  Listing listing_;
+};
+
+}  // namespace
+
+AssembledUnit assemble(const std::vector<std::string>& lines,
+                       const std::string& unit_name) {
+  return Unit(lines, unit_name).take();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+AssembledUnit assemble_text(const std::string& text, const std::string& unit_name) {
+  return assemble(split_lines(text), unit_name);
+}
+
+}  // namespace eilid::masm

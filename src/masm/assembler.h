@@ -1,0 +1,58 @@
+// Two-pass MSP430 assembler.
+//
+// Pass 1 sizes every statement and assigns addresses (symbolic
+// immediates never constant-generator-compress, so sizing is
+// deterministic); pass 2 resolves symbols and encodes. Output is a
+// sparse MemoryImage plus a structured Listing -- the two artefacts
+// the EILID build pipeline shuttles between iterations.
+//
+// Directives:
+//   .org ADDR           set location counter (literal)
+//   .word e1, e2, ...   emit words (expressions allowed)
+//   .byte e1, e2, ...   emit bytes
+//   .ascii "s" / .asciz "s"
+//   .space N            emit N zero bytes
+//   .align N            pad with zeros to an N-byte boundary
+//   .equ NAME, value    define constant (literal or known symbol)
+//   .global NAME        export marker (metadata only)
+//   .func NAME          declare NAME a function entry point (used by
+//                       the EILID instrumenter's P3 table)
+//   .vector N, NAME     install NAME into interrupt vector slot N
+//   .end                stop assembling
+#ifndef EILID_MASM_ASSEMBLER_H
+#define EILID_MASM_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "masm/image.h"
+#include "masm/listing.h"
+#include "masm/statement.h"
+
+namespace eilid::masm {
+
+struct AssembledUnit {
+  std::string name;
+  MemoryImage image;
+  Listing listing;
+  std::map<std::string, uint16_t> symbols;
+  std::vector<std::string> globals;
+  std::vector<std::string> func_symbols;  // .func declarations
+  std::map<int, std::string> vectors;     // vector slot -> handler symbol
+};
+
+// Assemble a unit. `lines` is the raw source, one string per line.
+// Throws eilid::AsmError / eilid::LinkError on any problem.
+AssembledUnit assemble(const std::vector<std::string>& lines,
+                       const std::string& unit_name);
+
+// Convenience: split a blob on '\n' and assemble.
+AssembledUnit assemble_text(const std::string& text, const std::string& unit_name);
+
+// Split helper shared with the instrumenter.
+std::vector<std::string> split_lines(const std::string& text);
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_ASSEMBLER_H

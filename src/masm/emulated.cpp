@@ -1,0 +1,149 @@
+#include "masm/emulated.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+#include "isa/registers.h"
+
+namespace eilid::masm {
+namespace {
+
+OperandExpr reg_operand(uint8_t reg) {
+  OperandExpr op;
+  op.kind = OperandExpr::Kind::kReg;
+  op.reg = reg;
+  return op;
+}
+
+OperandExpr imm_operand(int32_t value) {
+  OperandExpr op;
+  op.kind = OperandExpr::Kind::kImmediate;
+  op.expr = Expr::literal(value);
+  return op;
+}
+
+OperandExpr indirect_inc_operand(uint8_t reg) {
+  OperandExpr op;
+  op.kind = OperandExpr::Kind::kIndirectInc;
+  op.reg = reg;
+  return op;
+}
+
+struct NoOperandForm {
+  const char* mnemonic;
+  // Expansion: mnemonic + fixed operands.
+  const char* real;
+  int32_t imm;      // source immediate (kUseSpPop means @sp+ source)
+  uint8_t dst_reg;  // destination register
+};
+
+constexpr int32_t kUseSpPop = INT32_MIN;
+
+constexpr NoOperandForm kNoOperand[] = {
+    {"ret", "mov", kUseSpPop, isa::kPC},
+    {"nop", "mov", 0, isa::kCG2},
+    {"clrc", "bic", 1, isa::kSR},
+    {"setc", "bis", 1, isa::kSR},
+    {"clrz", "bic", 2, isa::kSR},
+    {"setz", "bis", 2, isa::kSR},
+    {"clrn", "bic", 4, isa::kSR},
+    {"setn", "bis", 4, isa::kSR},
+    {"dint", "bic", 8, isa::kSR},
+    {"eint", "bis", 8, isa::kSR},
+};
+
+struct OneOperandForm {
+  const char* mnemonic;
+  const char* real;
+  int32_t imm;  // source immediate; kUseSpPop = @sp+; kUseDst = duplicate dst
+};
+
+constexpr int32_t kUseDst = INT32_MIN + 1;
+
+constexpr OneOperandForm kOneOperand[] = {
+    {"pop", "mov", kUseSpPop},
+    {"clr", "mov", 0},
+    {"inc", "add", 1},
+    {"incd", "add", 2},
+    {"dec", "sub", 1},
+    {"decd", "sub", 2},
+    {"adc", "addc", 0},
+    {"sbc", "subc", 0},
+    {"dadc", "dadd", 0},
+    {"tst", "cmp", 0},
+    {"inv", "xor", -1},
+    {"rla", "add", kUseDst},
+    {"rlc", "addc", kUseDst},
+};
+
+}  // namespace
+
+bool is_emulated(const std::string& mnemonic) {
+  for (const auto& f : kNoOperand) {
+    if (mnemonic == f.mnemonic) return true;
+  }
+  for (const auto& f : kOneOperand) {
+    if (mnemonic == f.mnemonic) return true;
+  }
+  return mnemonic == "br";
+}
+
+bool expand_emulated(Statement& stmt, const std::string& file) {
+  const std::string& m = stmt.mnemonic;
+
+  for (const auto& f : kNoOperand) {
+    if (m != f.mnemonic) continue;
+    if (!stmt.operands.empty()) {
+      throw AsmError(file, stmt.line_no, m + " takes no operands");
+    }
+    stmt.mnemonic = f.real;
+    if (f.imm == kUseSpPop) {
+      stmt.operands.push_back(indirect_inc_operand(isa::kSP));
+    } else {
+      stmt.operands.push_back(imm_operand(f.imm));
+    }
+    stmt.operands.push_back(reg_operand(f.dst_reg));
+    return true;
+  }
+
+  for (const auto& f : kOneOperand) {
+    if (m != f.mnemonic) continue;
+    if (stmt.operands.size() != 1) {
+      throw AsmError(file, stmt.line_no, m + " takes exactly one operand");
+    }
+    OperandExpr dst = stmt.operands[0];
+    stmt.mnemonic = f.real;
+    stmt.operands.clear();
+    if (f.imm == kUseSpPop) {
+      stmt.operands.push_back(indirect_inc_operand(isa::kSP));
+    } else if (f.imm == kUseDst) {
+      stmt.operands.push_back(dst);  // add dst, dst
+    } else {
+      stmt.operands.push_back(imm_operand(f.imm));
+    }
+    stmt.operands.push_back(dst);
+    return true;
+  }
+
+  if (m == "br") {
+    if (stmt.operands.size() != 1) {
+      throw AsmError(file, stmt.line_no, "br takes exactly one operand");
+    }
+    // br dst == mov dst, pc. "br #addr" and "br Rn" are the common
+    // forms; a bare symbol ("br label") is treated as "br #label",
+    // matching assembler convention.
+    OperandExpr target = stmt.operands[0];
+    if (target.kind == OperandExpr::Kind::kSymbolic) {
+      target.kind = OperandExpr::Kind::kImmediate;
+    }
+    stmt.mnemonic = "mov";
+    stmt.operands.clear();
+    stmt.operands.push_back(target);
+    stmt.operands.push_back(reg_operand(isa::kPC));
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace eilid::masm

@@ -1,0 +1,24 @@
+// MSP430 emulated-instruction expansion (ret, pop, br, nop, clr, inc,
+// tst, ...). Emulated forms are pure assembler sugar over Format-I/II
+// encodings; expanding them before sizing keeps the rest of the
+// assembler ignorant of them.
+#ifndef EILID_MASM_EMULATED_H
+#define EILID_MASM_EMULATED_H
+
+#include <string>
+
+#include "masm/statement.h"
+
+namespace eilid::masm {
+
+// If stmt.mnemonic is an emulated instruction, rewrite the statement
+// in place into its real form and return true. Throws eilid::AsmError
+// on arity mistakes (`ret r5`, `pop` with no operand, ...).
+bool expand_emulated(Statement& stmt, const std::string& file);
+
+// True if `mnemonic` names an emulated instruction.
+bool is_emulated(const std::string& mnemonic);
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_EMULATED_H

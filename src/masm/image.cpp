@@ -1,0 +1,48 @@
+#include "masm/image.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+
+namespace eilid::masm {
+
+void MemoryImage::emit_byte(uint16_t addr, uint8_t value) {
+  auto [it, inserted] = bytes_.emplace(addr, value);
+  (void)it;
+  if (!inserted) {
+    throw LinkError("overlapping emission at " + hex16(addr));
+  }
+}
+
+void MemoryImage::emit_word(uint16_t addr, uint16_t value) {
+  emit_byte(addr, static_cast<uint8_t>(value));
+  emit_byte(static_cast<uint16_t>(addr + 1), static_cast<uint8_t>(value >> 8));
+}
+
+uint8_t MemoryImage::byte_at(uint16_t addr) const {
+  auto it = bytes_.find(addr);
+  return it == bytes_.end() ? 0 : it->second;
+}
+
+uint16_t MemoryImage::word_at(uint16_t addr) const {
+  return static_cast<uint16_t>(byte_at(addr) |
+                               (byte_at(static_cast<uint16_t>(addr + 1)) << 8));
+}
+
+void MemoryImage::merge(const MemoryImage& other) {
+  for (auto [addr, value] : other.bytes_) emit_byte(addr, value);
+}
+
+std::vector<MemoryImage::Chunk> MemoryImage::chunks() const {
+  std::vector<Chunk> out;
+  for (auto [addr, value] : bytes_) {
+    if (!out.empty() &&
+        static_cast<uint32_t>(out.back().base) + out.back().data.size() == addr) {
+      out.back().data.push_back(value);
+    } else {
+      out.push_back({addr, {value}});
+    }
+  }
+  return out;
+}
+
+}  // namespace eilid::masm

@@ -1,0 +1,45 @@
+// Sparse memory image produced by the assembler and consumed by the
+// loader. Also acts as the "linker": images from several units are
+// merged with overlap checking.
+#ifndef EILID_MASM_IMAGE_H
+#define EILID_MASM_IMAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace eilid::masm {
+
+class MemoryImage {
+ public:
+  // Throws eilid::LinkError if the byte was already emitted.
+  void emit_byte(uint16_t addr, uint8_t value);
+  void emit_word(uint16_t addr, uint16_t value);
+
+  bool contains(uint16_t addr) const { return bytes_.count(addr) != 0; }
+  uint8_t byte_at(uint16_t addr) const;
+  uint16_t word_at(uint16_t addr) const;
+
+  // Total emitted bytes -- the paper's "binary size" metric.
+  size_t size_bytes() const { return bytes_.size(); }
+
+  // Merge another image into this one (the link step).
+  void merge(const MemoryImage& other);
+
+  // Contiguous runs for efficient loading.
+  struct Chunk {
+    uint16_t base;
+    std::vector<uint8_t> data;
+  };
+  std::vector<Chunk> chunks() const;
+
+  const std::map<uint16_t, uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::map<uint16_t, uint8_t> bytes_;
+};
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_IMAGE_H

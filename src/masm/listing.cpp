@@ -1,0 +1,38 @@
+#include "masm/listing.h"
+
+#include "common/hex.h"
+
+namespace eilid::masm {
+
+std::string Listing::render() const {
+  std::string out;
+  out += "; listing of " + unit_name + "\n";
+  for (const auto& line : lines) {
+    if (line.bytes.empty() && line.source.empty()) continue;
+    std::string words;
+    for (size_t i = 0; i + 1 < line.bytes.size(); i += 2) {
+      uint16_t w = static_cast<uint16_t>(line.bytes[i] |
+                                         (line.bytes[i + 1] << 8));
+      words += hex16_bare(w) + " ";
+    }
+    if (line.bytes.size() % 2) words += hex8(line.bytes.back()) + " ";
+    std::string addr = line.bytes.empty() ? "    " : hex16_bare(line.address);
+    out += addr + ": " + words;
+    // Pad to a fixed column so source aligns.
+    size_t col = 6 + words.size();
+    while (col++ < 26) out += ' ';
+    out += line.source + "\n";
+  }
+  out += ";\n; symbols:\n";
+  for (const auto& [name, value] : symbols) {
+    out += ";   " + name + " = " + hex16(value) + "\n";
+  }
+  return out;
+}
+
+uint16_t Listing::next_address(size_t index) const {
+  const auto& line = lines.at(index);
+  return static_cast<uint16_t>(line.address + line.bytes.size());
+}
+
+}  // namespace eilid::masm

@@ -1,0 +1,40 @@
+// Assembly listing (.lst): per-statement addresses and emitted bytes.
+// This is the artefact EILIDinst consumes to learn final instruction
+// addresses across the paper's three-iteration build (Fig. 2).
+#ifndef EILID_MASM_LISTING_H
+#define EILID_MASM_LISTING_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eilid::masm {
+
+struct ListingLine {
+  int line_no = 0;          // 1-based source line number
+  uint16_t address = 0;     // location counter at this statement
+  std::vector<uint8_t> bytes;  // emitted bytes (empty for non-emitting lines)
+  bool is_instruction = false;
+  std::string mnemonic;     // post-expansion mnemonic (real ISA form)
+  std::string source;       // source text (comment stripped)
+  std::string label;        // label defined on this line, if any
+};
+
+struct Listing {
+  std::string unit_name;
+  std::vector<ListingLine> lines;
+  std::map<std::string, uint16_t> symbols;
+
+  // msp430-gcc-like text rendering:
+  //   e000: 3140 0010    mov #0x1000, r1
+  std::string render() const;
+
+  // Address of the statement following the listing line at `index`
+  // (the "next address" an instrumented call site's return lands on).
+  uint16_t next_address(size_t index) const;
+};
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_LISTING_H

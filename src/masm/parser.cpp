@@ -1,0 +1,183 @@
+#include "masm/parser.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/strings.h"
+#include "isa/registers.h"
+
+namespace eilid::masm {
+namespace {
+
+std::string strip_comment(const std::string& raw) {
+  // ';' starts a comment unless inside a quoted string.
+  bool in_quote = false;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '"') in_quote = !in_quote;
+    if (raw[i] == ';' && !in_quote) return raw.substr(0, i);
+  }
+  return raw;
+}
+
+[[noreturn]] void fail(const std::string& file, int line_no, const std::string& msg) {
+  throw AsmError(file, line_no, msg);
+}
+
+}  // namespace
+
+Expr parse_expr(const std::string& text, const std::string& file, int line_no) {
+  std::string t = trim(text);
+  if (t.empty()) fail(file, line_no, "empty expression");
+
+  // Character literal: 'A'
+  if (t.size() == 3 && t.front() == '\'' && t.back() == '\'') {
+    return Expr::literal(static_cast<unsigned char>(t[1]));
+  }
+
+  // Pure number?
+  try {
+    return Expr::literal(static_cast<int32_t>(parse_number(t)));
+  } catch (const std::invalid_argument&) {
+    // fall through: symbol form
+  }
+
+  // symbol, $, symbol+lit, symbol-lit. Find the last +/- that is not
+  // part of a leading sign (symbols cannot start with +/-).
+  size_t split = std::string::npos;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i] == '+' || t[i] == '-') {
+      split = i;
+      break;  // first infix operator; offsets are single terms
+    }
+  }
+  std::string sym = (split == std::string::npos) ? t : trim(t.substr(0, split));
+  int32_t off = 0;
+  if (split != std::string::npos) {
+    std::string rest = trim(t.substr(split + 1));
+    int32_t v;
+    try {
+      v = static_cast<int32_t>(parse_number(rest));
+    } catch (const std::invalid_argument&) {
+      fail(file, line_no, "bad expression offset: " + rest);
+    }
+    off = (t[split] == '-') ? -v : v;
+  }
+  if (sym != "$" && !is_identifier(sym)) {
+    fail(file, line_no, "bad symbol: '" + sym + "'");
+  }
+  return Expr::sym(sym, off);
+}
+
+OperandExpr parse_operand(const std::string& text, const std::string& file,
+                          int line_no) {
+  std::string t = trim(text);
+  if (t.empty()) fail(file, line_no, "empty operand");
+  OperandExpr op;
+
+  if (t[0] == '#') {
+    op.kind = OperandExpr::Kind::kImmediate;
+    op.expr = parse_expr(t.substr(1), file, line_no);
+    return op;
+  }
+  if (t[0] == '&') {
+    op.kind = OperandExpr::Kind::kAbsolute;
+    op.expr = parse_expr(t.substr(1), file, line_no);
+    return op;
+  }
+  if (t[0] == '@') {
+    std::string inner = trim(t.substr(1));
+    bool inc = false;
+    if (!inner.empty() && inner.back() == '+') {
+      inc = true;
+      inner = trim(inner.substr(0, inner.size() - 1));
+    }
+    // Tolerate "@(r1)" (the paper's Fig. 4 spelling) as "@r1".
+    if (inner.size() >= 2 && inner.front() == '(' && inner.back() == ')') {
+      inner = trim(inner.substr(1, inner.size() - 2));
+    }
+    int reg = isa::parse_reg(inner);
+    if (reg < 0) fail(file, line_no, "bad indirect register: '" + inner + "'");
+    op.kind = inc ? OperandExpr::Kind::kIndirectInc : OperandExpr::Kind::kIndirect;
+    op.reg = static_cast<uint8_t>(reg);
+    return op;
+  }
+  // Indexed: expr(Rn) -- the operand ends with "(rN)".
+  if (t.back() == ')') {
+    size_t open = t.rfind('(');
+    if (open == std::string::npos) fail(file, line_no, "unbalanced ')': " + t);
+    std::string reg_text = trim(t.substr(open + 1, t.size() - open - 2));
+    int reg = isa::parse_reg(reg_text);
+    if (reg < 0) fail(file, line_no, "bad index register: '" + reg_text + "'");
+    std::string idx = trim(t.substr(0, open));
+    op.kind = OperandExpr::Kind::kIndexed;
+    op.reg = static_cast<uint8_t>(reg);
+    op.expr = idx.empty() ? Expr::literal(0) : parse_expr(idx, file, line_no);
+    return op;
+  }
+  // Plain register?
+  if (int reg = isa::parse_reg(t); reg >= 0) {
+    op.kind = OperandExpr::Kind::kReg;
+    op.reg = static_cast<uint8_t>(reg);
+    return op;
+  }
+  // Bare expression: symbolic memory operand / jump target.
+  op.kind = OperandExpr::Kind::kSymbolic;
+  op.expr = parse_expr(t, file, line_no);
+  return op;
+}
+
+Statement parse_line(const std::string& raw, const std::string& file, int line_no) {
+  Statement stmt;
+  stmt.line_no = line_no;
+  std::string body = trim(strip_comment(raw));
+  stmt.text = body;
+  if (body.empty()) return stmt;
+
+  // Leading label(s): "name:" -- only one per line in practice.
+  {
+    size_t colon = body.find(':');
+    if (colon != std::string::npos) {
+      std::string head = trim(body.substr(0, colon));
+      if (is_identifier(head)) {
+        stmt.label = head;
+        body = trim(body.substr(colon + 1));
+        if (body.empty()) return stmt;
+      }
+    }
+  }
+
+  if (body[0] == '.') {
+    stmt.kind = Statement::Kind::kDirective;
+    size_t sp = body.find_first_of(" \t");
+    stmt.directive = to_lower(body.substr(1, sp == std::string::npos
+                                                 ? std::string::npos
+                                                 : sp - 1));
+    if (sp != std::string::npos) {
+      std::string rest = trim(body.substr(sp + 1));
+      if (stmt.directive == "ascii" || stmt.directive == "asciz") {
+        stmt.args.push_back(rest);  // keep the quoted string intact
+      } else {
+        stmt.args = split_operands(rest);
+      }
+    }
+    return stmt;
+  }
+
+  stmt.kind = Statement::Kind::kInstruction;
+  size_t sp = body.find_first_of(" \t");
+  std::string mnemonic = to_lower(sp == std::string::npos ? body : body.substr(0, sp));
+  if (ends_with(mnemonic, ".b")) {
+    stmt.byte_suffix = true;
+    mnemonic = mnemonic.substr(0, mnemonic.size() - 2);
+  } else if (ends_with(mnemonic, ".w")) {
+    mnemonic = mnemonic.substr(0, mnemonic.size() - 2);
+  }
+  stmt.mnemonic = mnemonic;
+  if (sp != std::string::npos) {
+    for (const auto& piece : split_operands(trim(body.substr(sp + 1)))) {
+      stmt.operands.push_back(parse_operand(piece, file, line_no));
+    }
+  }
+  return stmt;
+}
+
+}  // namespace eilid::masm

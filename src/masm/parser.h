@@ -1,0 +1,25 @@
+// Line parser: assembly text -> Statement. Throws eilid::AsmError with
+// file/line context on malformed input.
+#ifndef EILID_MASM_PARSER_H
+#define EILID_MASM_PARSER_H
+
+#include <string>
+
+#include "masm/statement.h"
+
+namespace eilid::masm {
+
+// Parse one source line. `file` and `line_no` are for error messages.
+Statement parse_line(const std::string& raw, const std::string& file, int line_no);
+
+// Parse an operand in isolation (used by the instrumenter when it
+// synthesises code).
+OperandExpr parse_operand(const std::string& text, const std::string& file,
+                          int line_no);
+
+// Parse `lit`, `sym`, `sym+lit`, `sym-lit`, `'c'`, `$`, `$+lit`.
+Expr parse_expr(const std::string& text, const std::string& file, int line_no);
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_PARSER_H

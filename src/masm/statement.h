@@ -1,0 +1,62 @@
+// Parsed representation of one assembly source line, before symbol
+// resolution. The instrumenter (src/eilid) pattern-matches on
+// statements; the assembler lowers them to machine words.
+#ifndef EILID_MASM_STATEMENT_H
+#define EILID_MASM_STATEMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eilid::masm {
+
+// A numeric expression: `literal`, `symbol`, or `symbol +/- literal`.
+// '$' names the address of the statement that uses it.
+struct Expr {
+  std::string symbol;  // empty for pure literals
+  int32_t offset = 0;
+
+  bool is_literal() const { return symbol.empty(); }
+  static Expr literal(int32_t v) { return {"", v}; }
+  static Expr sym(std::string s, int32_t off = 0) { return {std::move(s), off}; }
+};
+
+// An operand as written, e.g. "#0x200", "r6", "2(r1)", "&0x0122",
+// "@r4+", "loop".
+struct OperandExpr {
+  enum class Kind : uint8_t {
+    kReg,          // r6
+    kImmediate,    // #expr
+    kIndexed,      // expr(Rn)
+    kIndirect,     // @Rn
+    kIndirectInc,  // @Rn+
+    kAbsolute,     // &expr
+    kSymbolic,     // bare expr (PC-relative memory operand, or jump target)
+  };
+  Kind kind = Kind::kReg;
+  uint8_t reg = 0;
+  Expr expr;
+};
+
+struct Statement {
+  enum class Kind : uint8_t { kEmpty, kInstruction, kDirective };
+
+  Kind kind = Kind::kEmpty;
+  std::string label;  // label defined on this line ("" if none)
+
+  // kInstruction:
+  std::string mnemonic;  // lowercase, suffix stripped (may be emulated)
+  bool byte_suffix = false;
+  std::vector<OperandExpr> operands;
+
+  // kDirective:
+  std::string directive;          // lowercase, without the leading dot
+  std::vector<std::string> args;  // raw comma-split argument strings
+
+  int line_no = 0;
+  std::string text;  // original source (without comment), for listings
+};
+
+}  // namespace eilid::masm
+
+#endif  // EILID_MASM_STATEMENT_H

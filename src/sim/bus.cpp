@@ -1,0 +1,140 @@
+#include "sim/bus.h"
+
+#include "common/error.h"
+
+namespace eilid::sim {
+
+Bus::Bus() = default;
+
+Peripheral* Bus::peripheral_at(uint16_t addr) const {
+  for (auto* p : peripherals_) {
+    if (addr >= p->first_addr() && addr <= p->last_addr()) return p;
+  }
+  return nullptr;
+}
+
+void Bus::add_peripheral(Peripheral* peripheral) {
+  for (auto* existing : peripherals_) {
+    if (peripheral->first_addr() <= existing->last_addr() &&
+        existing->first_addr() <= peripheral->last_addr()) {
+      throw ConfigError("peripheral address ranges overlap");
+    }
+  }
+  peripherals_.push_back(peripheral);
+}
+
+bool Bus::check_read(uint16_t addr, uint16_t pc) {
+  for (auto* w : watchers_) {
+    if (!w->on_read(addr, pc)) {
+      access_denied_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Bus::check_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc) {
+  for (auto* w : watchers_) {
+    if (!w->on_write(addr, value, byte, pc)) {
+      access_denied_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+uint16_t Bus::read_word(uint16_t addr, uint16_t pc) {
+  addr &= 0xFFFE;  // word accesses are even-aligned (LSB ignored, as in hw)
+  if (!check_read(addr, pc)) return 0xFFFF;
+  if (is_periph(addr)) {
+    if (auto* p = peripheral_at(addr)) return p->read(addr);
+    return 0;
+  }
+  return raw_word(addr);
+}
+
+uint8_t Bus::read_byte(uint16_t addr, uint16_t pc) {
+  if (!check_read(addr, pc)) return 0xFF;
+  if (is_periph(addr)) {
+    if (auto* p = peripheral_at(addr)) {
+      uint16_t v = p->read(addr & 0xFFFE);
+      return (addr & 1) ? static_cast<uint8_t>(v >> 8) : static_cast<uint8_t>(v);
+    }
+    return 0;
+  }
+  return mem_[addr];
+}
+
+void Bus::write_word(uint16_t addr, uint16_t value, uint16_t pc) {
+  addr &= 0xFFFE;
+  if (!check_write(addr, value, /*byte=*/false, pc)) return;
+  if (is_periph(addr)) {
+    if (auto* p = peripheral_at(addr)) p->write(addr, value);
+    return;
+  }
+  raw_store_word(addr, value);
+}
+
+void Bus::write_byte(uint16_t addr, uint8_t value, uint16_t pc) {
+  if (!check_write(addr, value, /*byte=*/true, pc)) return;
+  if (is_periph(addr)) {
+    if (auto* p = peripheral_at(addr & 0xFFFE)) p->write(addr & 0xFFFE, value);
+    return;
+  }
+  mem_[addr] = value;
+}
+
+bool Bus::notify_fetch(uint16_t pc) {
+  for (auto* w : watchers_) {
+    if (!w->on_fetch(pc)) {
+      access_denied_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+uint16_t Bus::raw_word(uint16_t addr) const {
+  addr &= 0xFFFE;
+  return static_cast<uint16_t>(mem_[addr] |
+                               (static_cast<uint16_t>(mem_[addr + 1]) << 8));
+}
+
+void Bus::raw_store_word(uint16_t addr, uint16_t value) {
+  addr &= 0xFFFE;
+  mem_[addr] = static_cast<uint8_t>(value);
+  mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+void Bus::tick_peripherals(uint64_t cycles) {
+  for (auto* p : peripherals_) p->tick(cycles);
+}
+
+int Bus::pending_irq() const {
+  int best = -1;
+  for (auto* p : peripherals_) {
+    int line = p->pending_irq();
+    if (line > best) best = line;  // higher vector index = higher priority
+  }
+  return best;
+}
+
+void Bus::ack_irq(int line) {
+  for (auto* p : peripherals_) {
+    if (p->pending_irq() == line) {
+      p->ack_irq();
+      return;
+    }
+  }
+}
+
+void Bus::reset_peripherals() {
+  for (auto* p : peripherals_) p->reset();
+}
+
+void Bus::wipe_volatile() {
+  for (uint32_t a = kRamStart; a <= kRamEnd; ++a) mem_[a] = 0;
+  for (uint32_t a = kSecureRamStart; a <= kSecureRamEnd; ++a) mem_[a] = 0;
+}
+
+}  // namespace eilid::sim

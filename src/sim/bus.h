@@ -1,0 +1,119 @@
+// The memory bus: a 64 KB von Neumann address space with memory-mapped
+// peripherals and *veto-capable* watchers.
+//
+// Watchers model bus-snooping hardware (CASU / EILID monitors). They
+// see every CPU access before it commits and may deny it; a denied
+// write never lands (this is how CASU guarantees PMEM immutability --
+// the violating store is suppressed and the device resets).
+#ifndef EILID_SIM_BUS_H
+#define EILID_SIM_BUS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory_map.h"
+
+namespace eilid::sim {
+
+// A memory-mapped peripheral occupying a register address range.
+class Peripheral {
+ public:
+  virtual ~Peripheral() = default;
+
+  // Register interface (addresses are absolute).
+  virtual uint16_t read(uint16_t addr) = 0;
+  virtual void write(uint16_t addr, uint16_t value) = 0;
+
+  // Advance the peripheral's clock by `cycles` CPU cycles.
+  virtual void tick(uint64_t cycles) { (void)cycles; }
+
+  // Asserted interrupt line (vector index), or -1.
+  virtual int pending_irq() const { return -1; }
+  virtual void ack_irq() {}
+
+  // Restore power-on state.
+  virtual void reset() {}
+
+  // Address range [first, last] this peripheral claims.
+  virtual uint16_t first_addr() const = 0;
+  virtual uint16_t last_addr() const = 0;
+};
+
+// Bus-snooping hardware monitor. Return false from an on_* hook to
+// deny the access; record the violation reason internally (the machine
+// queries the monitor afterwards).
+class BusWatcher {
+ public:
+  virtual ~BusWatcher() = default;
+  // Instruction fetch beginning at pc (fires once per instruction).
+  virtual bool on_fetch(uint16_t pc) {
+    (void)pc;
+    return true;
+  }
+  virtual bool on_read(uint16_t addr, uint16_t pc) {
+    (void)addr;
+    (void)pc;
+    return true;
+  }
+  virtual bool on_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc) {
+    (void)addr;
+    (void)value;
+    (void)byte;
+    (void)pc;
+    return true;
+  }
+};
+
+class Bus {
+ public:
+  Bus();
+
+  // --- CPU-visible accesses (watched, peripheral-aware). ---
+  // `pc` attributes the access to the currently executing instruction.
+  // Denied reads return 0xFFFF; denied writes are dropped. Either sets
+  // access_denied() until cleared.
+  uint16_t read_word(uint16_t addr, uint16_t pc);
+  uint8_t read_byte(uint16_t addr, uint16_t pc);
+  void write_word(uint16_t addr, uint16_t value, uint16_t pc);
+  void write_byte(uint16_t addr, uint8_t value, uint16_t pc);
+
+  // Instruction-fetch notification; false if a watcher denied it.
+  bool notify_fetch(uint16_t pc);
+
+  bool access_denied() const { return access_denied_; }
+  void clear_access_denied() { access_denied_ = false; }
+
+  // --- Raw accesses (image loading, decode, host inspection). ---
+  // No watchers, no peripherals: backing memory only.
+  uint16_t raw_word(uint16_t addr) const;
+  uint8_t raw_byte(uint16_t addr) const { return mem_[addr]; }
+  void raw_store_word(uint16_t addr, uint16_t value);
+  void raw_store_byte(uint16_t addr, uint8_t value) { mem_[addr] = value; }
+
+  // --- Wiring. ---
+  void add_watcher(BusWatcher* watcher) { watchers_.push_back(watcher); }
+  void add_peripheral(Peripheral* peripheral);
+  void tick_peripherals(uint64_t cycles);
+  int pending_irq() const;  // highest-priority asserted line, or -1
+  void ack_irq(int line);
+  void reset_peripherals();
+
+  // Zero RAM and secure RAM (CASU reset wipes volatile state; PMEM and
+  // ROM persist).
+  void wipe_volatile();
+
+ private:
+  Peripheral* peripheral_at(uint16_t addr) const;
+  bool check_read(uint16_t addr, uint16_t pc);
+  bool check_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc);
+
+  std::array<uint8_t, 0x10000> mem_{};
+  std::vector<BusWatcher*> watchers_;
+  std::vector<Peripheral*> peripherals_;
+  bool access_denied_ = false;
+};
+
+}  // namespace eilid::sim
+
+#endif  // EILID_SIM_BUS_H

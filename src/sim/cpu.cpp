@@ -1,0 +1,380 @@
+#include "sim/cpu.h"
+
+#include "isa/cycles.h"
+
+namespace eilid::sim {
+
+using isa::AddrMode;
+using isa::Opcode;
+using isa::Operand;
+namespace sr = isa::sr;
+
+void Cpu::power_on_reset() {
+  regs_.fill(0);
+  regs_[isa::kPC] = bus_.raw_word(kResetVectorAddr);
+}
+
+void Cpu::set_reg(int i, uint16_t v) {
+  if (i == isa::kPC) v &= 0xFFFE;
+  regs_[static_cast<size_t>(i)] = v;
+}
+
+void Cpu::set_flag(uint16_t bit, bool on) {
+  if (on) {
+    regs_[isa::kSR] |= bit;
+  } else {
+    regs_[isa::kSR] &= static_cast<uint16_t>(~bit);
+  }
+}
+
+uint16_t Cpu::read_src(const Operand& op, bool byte) {
+  const uint16_t mask = byte ? 0x00FF : 0xFFFF;
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      return regs_[op.reg] & mask;
+    case AddrMode::kImmediate:
+      return static_cast<uint16_t>(op.value) & mask;
+    case AddrMode::kIndexed: {
+      uint16_t ea = static_cast<uint16_t>(regs_[op.reg] + op.value);
+      return byte ? bus_.read_byte(ea, cur_pc_) : bus_.read_word(ea, cur_pc_);
+    }
+    case AddrMode::kSymbolic:
+    case AddrMode::kAbsolute: {
+      uint16_t ea = static_cast<uint16_t>(op.value);
+      return byte ? bus_.read_byte(ea, cur_pc_) : bus_.read_word(ea, cur_pc_);
+    }
+    case AddrMode::kIndirect: {
+      uint16_t ea = regs_[op.reg];
+      return byte ? bus_.read_byte(ea, cur_pc_) : bus_.read_word(ea, cur_pc_);
+    }
+    case AddrMode::kIndirectInc: {
+      uint16_t ea = regs_[op.reg];
+      uint16_t v = byte ? bus_.read_byte(ea, cur_pc_) : bus_.read_word(ea, cur_pc_);
+      // SP always steps by 2 to stay word-aligned; others by access size.
+      uint16_t inc = (!byte || op.reg == isa::kSP) ? 2 : 1;
+      regs_[op.reg] = static_cast<uint16_t>(regs_[op.reg] + inc);
+      return v;
+    }
+  }
+  return 0;
+}
+
+Cpu::DstRef Cpu::resolve_dst(const Operand& op) {
+  DstRef ref;
+  switch (op.mode) {
+    case AddrMode::kRegister:
+      ref.is_reg = true;
+      ref.reg = op.reg;
+      return ref;
+    case AddrMode::kIndexed:
+      ref.is_reg = false;
+      ref.ea = static_cast<uint16_t>(regs_[op.reg] + op.value);
+      return ref;
+    case AddrMode::kSymbolic:
+    case AddrMode::kAbsolute:
+      ref.is_reg = false;
+      ref.ea = static_cast<uint16_t>(op.value);
+      return ref;
+    default:
+      // Indirect modes are source-only; the decoder guarantees this.
+      ref.is_reg = false;
+      ref.ea = regs_[op.reg];
+      return ref;
+  }
+}
+
+uint16_t Cpu::read_at(const DstRef& ref, bool byte) {
+  const uint16_t mask = byte ? 0x00FF : 0xFFFF;
+  if (ref.is_reg) return regs_[ref.reg] & mask;
+  return byte ? bus_.read_byte(ref.ea, cur_pc_) : bus_.read_word(ref.ea, cur_pc_);
+}
+
+void Cpu::write_at(const DstRef& ref, bool byte, uint16_t value) {
+  if (ref.is_reg) {
+    if (ref.reg == isa::kCG2) return;  // r3 destination: result discarded
+    if (ref.reg == isa::kPC) value &= 0xFFFE;
+    // Byte writes to a register clear the upper byte (architectural).
+    regs_[ref.reg] = byte ? static_cast<uint16_t>(value & 0xFF) : value;
+    return;
+  }
+  if (byte) {
+    bus_.write_byte(ref.ea, static_cast<uint8_t>(value), cur_pc_);
+  } else {
+    bus_.write_word(ref.ea, value, cur_pc_);
+  }
+}
+
+void Cpu::push_word(uint16_t value) {
+  regs_[isa::kSP] = static_cast<uint16_t>(regs_[isa::kSP] - 2);
+  bus_.write_word(regs_[isa::kSP], value, cur_pc_);
+}
+
+uint16_t Cpu::pop_word() {
+  uint16_t v = bus_.read_word(regs_[isa::kSP], cur_pc_);
+  regs_[isa::kSP] = static_cast<uint16_t>(regs_[isa::kSP] + 2);
+  return v;
+}
+
+uint16_t Cpu::add_and_flags(uint16_t a, uint16_t b, unsigned carry_in, bool byte) {
+  const unsigned width = byte ? 8 : 16;
+  const uint16_t mask = byte ? 0x00FF : 0xFFFF;
+  const uint16_t msb = byte ? 0x0080 : 0x8000;
+  uint32_t sum = static_cast<uint32_t>(a & mask) + (b & mask) + carry_in;
+  uint16_t result = static_cast<uint16_t>(sum & mask);
+  set_flag(sr::kC, (sum >> width) != 0);
+  set_flag(sr::kZ, result == 0);
+  set_flag(sr::kN, (result & msb) != 0);
+  // Signed overflow: both inputs same sign, result differs.
+  bool v = ((~(a ^ b)) & (a ^ result) & msb) != 0;
+  set_flag(sr::kV, v);
+  return result;
+}
+
+void Cpu::exec_double(const isa::Instruction& insn) {
+  const bool byte = insn.byte_mode;
+  const uint16_t mask = byte ? 0x00FF : 0xFFFF;
+  const uint16_t msb = byte ? 0x0080 : 0x8000;
+
+  uint16_t src = read_src(insn.src, byte);
+  DstRef dst_ref = resolve_dst(insn.dst);
+
+  switch (insn.op) {
+    case Opcode::kMov:
+      write_at(dst_ref, byte, src);
+      return;
+    case Opcode::kAdd: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte, add_and_flags(dst, src, 0, byte));
+      return;
+    }
+    case Opcode::kAddc: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte, add_and_flags(dst, src, flag(sr::kC) ? 1 : 0, byte));
+      return;
+    }
+    case Opcode::kSub: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte, add_and_flags(dst, (~src) & mask, 1, byte));
+      return;
+    }
+    case Opcode::kSubc: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte,
+               add_and_flags(dst, (~src) & mask, flag(sr::kC) ? 1 : 0, byte));
+      return;
+    }
+    case Opcode::kCmp: {
+      uint16_t dst = read_at(dst_ref, byte);
+      add_and_flags(dst, (~src) & mask, 1, byte);
+      return;
+    }
+    case Opcode::kDadd: {
+      uint16_t dst = read_at(dst_ref, byte);
+      unsigned carry = flag(sr::kC) ? 1 : 0;
+      const int digits = byte ? 2 : 4;
+      uint16_t result = 0;
+      for (int d = 0; d < digits; ++d) {
+        unsigned nibble = ((dst >> (4 * d)) & 0xF) + ((src >> (4 * d)) & 0xF) + carry;
+        if (nibble > 9) {
+          nibble = (nibble + 6) & 0xF;
+          carry = 1;
+        } else {
+          carry = 0;
+        }
+        result |= static_cast<uint16_t>(nibble << (4 * d));
+      }
+      set_flag(sr::kC, carry != 0);
+      set_flag(sr::kZ, result == 0);
+      set_flag(sr::kN, (result & msb) != 0);
+      // V is architecturally undefined after DADD; we clear it.
+      set_flag(sr::kV, false);
+      write_at(dst_ref, byte, result);
+      return;
+    }
+    case Opcode::kBit: {
+      uint16_t dst = read_at(dst_ref, byte);
+      uint16_t r = dst & src & mask;
+      set_flag(sr::kZ, r == 0);
+      set_flag(sr::kN, (r & msb) != 0);
+      set_flag(sr::kC, r != 0);
+      set_flag(sr::kV, false);
+      return;
+    }
+    case Opcode::kBic: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte, dst & static_cast<uint16_t>(~src) & mask);
+      return;
+    }
+    case Opcode::kBis: {
+      uint16_t dst = read_at(dst_ref, byte);
+      write_at(dst_ref, byte, (dst | src) & mask);
+      return;
+    }
+    case Opcode::kXor: {
+      uint16_t dst = read_at(dst_ref, byte);
+      uint16_t r = (dst ^ src) & mask;
+      set_flag(sr::kZ, r == 0);
+      set_flag(sr::kN, (r & msb) != 0);
+      set_flag(sr::kC, r != 0);
+      set_flag(sr::kV, ((dst & msb) != 0) && ((src & msb) != 0));
+      write_at(dst_ref, byte, r);
+      return;
+    }
+    case Opcode::kAnd: {
+      uint16_t dst = read_at(dst_ref, byte);
+      uint16_t r = dst & src & mask;
+      set_flag(sr::kZ, r == 0);
+      set_flag(sr::kN, (r & msb) != 0);
+      set_flag(sr::kC, r != 0);
+      set_flag(sr::kV, false);
+      write_at(dst_ref, byte, r);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Cpu::exec_single(const isa::Instruction& insn, uint16_t insn_pc) {
+  (void)insn_pc;
+  const bool byte = insn.byte_mode;
+  const uint16_t mask = byte ? 0x00FF : 0xFFFF;
+  const uint16_t msb = byte ? 0x0080 : 0x8000;
+
+  switch (insn.op) {
+    case Opcode::kPush: {
+      uint16_t v = read_src(insn.src, byte);
+      push_word(v & mask);
+      return;
+    }
+    case Opcode::kCall: {
+      uint16_t target = read_src(insn.src, /*byte=*/false);
+      push_word(regs_[isa::kPC]);  // PC already points past the call
+      regs_[isa::kPC] = target & 0xFFFE;
+      return;
+    }
+    case Opcode::kReti: {
+      regs_[isa::kSR] = pop_word();
+      regs_[isa::kPC] = pop_word() & 0xFFFE;
+      return;
+    }
+    default:
+      break;
+  }
+
+  // rrc/rra/swpb/sxt: read-modify-write on a single operand.
+  DstRef ref = resolve_dst(insn.src);
+  uint16_t v = read_at(ref, byte);
+  uint16_t result = 0;
+  switch (insn.op) {
+    case Opcode::kRrc: {
+      unsigned c_old = flag(sr::kC) ? 1 : 0;
+      set_flag(sr::kC, (v & 1) != 0);
+      result = static_cast<uint16_t>((v >> 1) | (c_old ? msb : 0));
+      set_flag(sr::kZ, result == 0);
+      set_flag(sr::kN, (result & msb) != 0);
+      set_flag(sr::kV, false);
+      break;
+    }
+    case Opcode::kRra: {
+      set_flag(sr::kC, (v & 1) != 0);
+      result = static_cast<uint16_t>((v >> 1) | (v & msb));
+      set_flag(sr::kZ, result == 0);
+      set_flag(sr::kN, (result & msb) != 0);
+      set_flag(sr::kV, false);
+      break;
+    }
+    case Opcode::kSwpb:
+      result = static_cast<uint16_t>((v >> 8) | (v << 8));
+      break;
+    case Opcode::kSxt: {
+      result = (v & 0x80) ? static_cast<uint16_t>(v | 0xFF00)
+                          : static_cast<uint16_t>(v & 0x00FF);
+      set_flag(sr::kZ, result == 0);
+      set_flag(sr::kN, (result & 0x8000) != 0);
+      set_flag(sr::kC, result != 0);
+      set_flag(sr::kV, false);
+      break;
+    }
+    default:
+      return;
+  }
+  write_at(ref, byte && insn.op != Opcode::kSxt, result);
+}
+
+void Cpu::exec_jump(const isa::Decoded& decoded) {
+  bool taken = false;
+  switch (decoded.insn.op) {
+    case Opcode::kJnz: taken = !flag(sr::kZ); break;
+    case Opcode::kJz: taken = flag(sr::kZ); break;
+    case Opcode::kJnc: taken = !flag(sr::kC); break;
+    case Opcode::kJc: taken = flag(sr::kC); break;
+    case Opcode::kJn: taken = flag(sr::kN); break;
+    case Opcode::kJge: taken = flag(sr::kN) == flag(sr::kV); break;
+    case Opcode::kJl: taken = flag(sr::kN) != flag(sr::kV); break;
+    case Opcode::kJmp: taken = true; break;
+    default: break;
+  }
+  if (taken) regs_[isa::kPC] = decoded.jump_target();
+}
+
+StepOutcome Cpu::step() {
+  StepOutcome out;
+  cur_pc_ = regs_[isa::kPC];
+  out.pc = cur_pc_;
+
+  bus_.clear_access_denied();
+  if (!bus_.notify_fetch(cur_pc_)) {
+    out.status = StepStatus::kDenied;
+    return out;
+  }
+
+  // Raw reads for decode: extension words are part of the instruction
+  // stream, already vetted by the fetch check above.
+  std::array<uint16_t, 3> words = {
+      bus_.raw_word(cur_pc_),
+      bus_.raw_word(static_cast<uint16_t>(cur_pc_ + 2)),
+      bus_.raw_word(static_cast<uint16_t>(cur_pc_ + 4))};
+  auto decoded = isa::decode(words, cur_pc_);
+  if (!decoded) {
+    out.status = StepStatus::kIllegal;
+    out.cycles = 1;
+    return out;
+  }
+
+  // PC advances past the full instruction before execution (so that
+  // pushes/branches observe the return/next address).
+  regs_[isa::kPC] = decoded->next_address();
+
+  const auto& info = isa::opcode_info(decoded->insn.op);
+  switch (info.format) {
+    case isa::Format::kDouble:
+      exec_double(decoded->insn);
+      break;
+    case isa::Format::kSingle:
+      exec_single(decoded->insn, cur_pc_);
+      break;
+    case isa::Format::kJump:
+      exec_jump(*decoded);
+      break;
+  }
+
+  out.cycles = isa::instruction_cycles(decoded->insn);
+  ++instructions_retired_;
+  if (bus_.access_denied()) {
+    out.status = StepStatus::kDenied;
+  }
+  return out;
+}
+
+unsigned Cpu::service_interrupt(int vector_index) {
+  cur_pc_ = regs_[isa::kPC];
+  push_word(regs_[isa::kPC]);
+  push_word(regs_[isa::kSR]);
+  regs_[isa::kSR] &= sr::kScg0;  // all flags cleared except SCG0
+  regs_[isa::kPC] =
+      bus_.raw_word(static_cast<uint16_t>(kVectorBase + 2 * vector_index)) & 0xFFFE;
+  return isa::kInterruptAcceptCycles;
+}
+
+}  // namespace eilid::sim

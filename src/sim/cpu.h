@@ -1,0 +1,87 @@
+// MSP430 CPU core: 16 registers, fetch/decode/execute, status flags,
+// interrupt entry. Timing follows src/isa/cycles.h.
+//
+// The CPU is deliberately unaware of CASU/EILID: all enforcement
+// happens in bus watchers, exactly as the paper's hardware monitors
+// snoop CPU signals without modifying the core.
+#ifndef EILID_SIM_CPU_H
+#define EILID_SIM_CPU_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/decoder.h"
+#include "isa/registers.h"
+#include "sim/bus.h"
+
+namespace eilid::sim {
+
+enum class StepStatus : uint8_t {
+  kOk,
+  kIllegal,  // undecodable instruction word
+  kDenied,   // a bus watcher denied an access mid-instruction
+};
+
+struct StepOutcome {
+  StepStatus status = StepStatus::kOk;
+  unsigned cycles = 0;
+  uint16_t pc = 0;  // address of the instruction that executed (or faulted)
+};
+
+class Cpu {
+ public:
+  explicit Cpu(Bus& bus) : bus_(bus) {}
+
+  // Load PC from the reset vector and clear registers.
+  void power_on_reset();
+
+  // Execute a single instruction.
+  StepOutcome step();
+
+  // Hardware interrupt entry: push PC and SR, clear SR (except SCG0),
+  // load the handler address from the vector table. Returns cycles.
+  unsigned service_interrupt(int vector_index);
+
+  uint16_t reg(int i) const { return regs_[static_cast<size_t>(i)]; }
+  void set_reg(int i, uint16_t v);
+  uint16_t pc() const { return regs_[isa::kPC]; }
+  uint16_t sp() const { return regs_[isa::kSP]; }
+  uint16_t sr() const { return regs_[isa::kSR]; }
+
+  bool gie() const { return (sr() & isa::sr::kGIE) != 0; }
+  bool cpu_off() const { return (sr() & isa::sr::kCpuOff) != 0; }
+
+  uint64_t instructions_retired() const { return instructions_retired_; }
+
+ private:
+  struct DstRef {
+    bool is_reg = true;
+    uint8_t reg = 0;
+    uint16_t ea = 0;
+  };
+
+  uint16_t read_src(const isa::Operand& op, bool byte);
+  DstRef resolve_dst(const isa::Operand& op);
+  uint16_t read_at(const DstRef& ref, bool byte);
+  void write_at(const DstRef& ref, bool byte, uint16_t value);
+  void push_word(uint16_t value);
+  uint16_t pop_word();
+
+  void exec_double(const isa::Instruction& insn);
+  void exec_single(const isa::Instruction& insn, uint16_t insn_pc);
+  void exec_jump(const isa::Decoded& decoded);
+
+  void set_flag(uint16_t bit, bool on);
+  bool flag(uint16_t bit) const { return (sr() & bit) != 0; }
+  // Flag helper for add-with-carry style ops (sub is add of ~src).
+  uint16_t add_and_flags(uint16_t a, uint16_t b, unsigned carry_in, bool byte);
+
+  Bus& bus_;
+  std::array<uint16_t, isa::kNumRegs> regs_{};
+  uint16_t cur_pc_ = 0;  // pc of the executing instruction (bus attribution)
+  uint64_t instructions_retired_ = 0;
+};
+
+}  // namespace eilid::sim
+
+#endif  // EILID_SIM_CPU_H

@@ -1,0 +1,142 @@
+#include "sim/machine.h"
+
+namespace eilid::sim {
+
+Machine::Machine(double clock_hz)
+    : clock_hz_(clock_hz),
+      cpu_(bus_),
+      port1_(mmio::kP1In, mmio::kP1Out, mmio::kP1Dir),
+      port2_(mmio::kP2In, mmio::kP2Out, mmio::kP2Dir) {
+  bus_.add_peripheral(&timer_);
+  bus_.add_peripheral(&adc_);
+  bus_.add_peripheral(&port1_);
+  bus_.add_peripheral(&port2_);
+  bus_.add_peripheral(&uart_);
+  bus_.add_peripheral(&ranger_);
+  bus_.add_peripheral(&lcd_);
+}
+
+void Machine::add_monitor(Monitor* monitor) {
+  monitors_.push_back(monitor);
+  bus_.add_watcher(monitor);
+}
+
+void Machine::load(uint16_t addr, std::span<const uint8_t> bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bus_.raw_store_byte(static_cast<uint16_t>(addr + i), bytes[i]);
+  }
+}
+
+void Machine::power_on() {
+  cpu_.power_on_reset();
+  resets_.push_back({cycles_, 0, ResetReason::kPowerOn});
+  for (auto* m : monitors_) m->on_device_reset();
+}
+
+bool Machine::interrupts_allowed(uint16_t pc) const {
+  for (auto* m : monitors_) {
+    if (!m->allow_interrupt(pc)) return false;
+  }
+  return true;
+}
+
+std::optional<ResetReason> Machine::first_pending_violation() const {
+  for (auto* m : monitors_) {
+    if (auto v = m->pending_violation()) return v;
+  }
+  return std::nullopt;
+}
+
+void Machine::do_reset(ResetReason reason, uint16_t pc) {
+  resets_.push_back({cycles_, pc, reason});
+  bus_.wipe_volatile();
+  bus_.reset_peripherals();
+  bus_.clear_access_denied();
+  for (auto* m : monitors_) {
+    m->clear_violation();
+    m->on_device_reset();
+  }
+  cpu_.power_on_reset();
+  cycles_ += 4;  // brown-out / reset latency
+  reset_this_step_ = true;
+}
+
+bool Machine::step_once() {
+  reset_this_step_ = false;
+
+  // Interrupt dispatch (level-triggered, priority = vector index).
+  int line = bus_.pending_irq();
+  if (line >= 0 && cpu_.gie() && interrupts_allowed(cpu_.pc())) {
+    uint16_t from = cpu_.pc();
+    unsigned cycles = cpu_.service_interrupt(line);
+    bus_.ack_irq(line);
+    cycles_ += cycles;
+    bus_.tick_peripherals(cycles);
+    for (auto* m : monitors_) m->on_interrupt(line, from, cpu_.pc());
+    if (auto v = first_pending_violation()) {
+      do_reset(*v, from);
+    }
+    return true;
+  }
+
+  if (cpu_.cpu_off()) {
+    // Low-power mode: burn time until a peripheral raises an interrupt.
+    if (bus_.pending_irq() >= 0) return true;  // will dispatch next step
+    uint64_t idle_chunk = 16;
+    cycles_ += idle_chunk;
+    bus_.tick_peripherals(idle_chunk);
+    // Idle forever? The caller's cycle budget bounds this loop.
+    return true;
+  }
+
+  StepOutcome outcome = cpu_.step();
+  cycles_ += outcome.cycles;
+  bus_.tick_peripherals(outcome.cycles);
+  for (auto* m : monitors_) m->on_step(outcome.pc, cpu_.pc());
+
+  if (outcome.status == StepStatus::kIllegal) {
+    do_reset(ResetReason::kIllegalInstruction, outcome.pc);
+    return true;
+  }
+  if (auto v = first_pending_violation()) {
+    do_reset(*v, outcome.pc);
+    return true;
+  }
+  if (outcome.status == StepStatus::kDenied) {
+    // A watcher denied an access but latched no specific reason
+    // (defensive default -- monitors normally always latch one).
+    do_reset(ResetReason::kIllegalInstruction, outcome.pc);
+    return true;
+  }
+  return true;
+}
+
+RunResult Machine::run(uint64_t max_cycles) {
+  return run_until(0xFFFF, max_cycles);  // 0xFFFF is never a fetch address
+}
+
+RunResult Machine::run_until(uint16_t breakpoint_pc, uint64_t max_cycles) {
+  RunResult result;
+  uint64_t start = cycles_;
+  while (cycles_ - start < max_cycles) {
+    if (cpu_.pc() == breakpoint_pc && !cpu_.cpu_off()) {
+      result.cause = StopCause::kBreakpoint;
+      result.cycles = cycles_ - start;
+      result.stop_pc = cpu_.pc();
+      return result;
+    }
+    step_once();
+    if (reset_this_step_ && halt_on_reset_) {
+      result.cause = StopCause::kDeviceReset;
+      result.cycles = cycles_ - start;
+      result.stop_pc = cpu_.pc();
+      return result;
+    }
+  }
+  result.cause = StopCause::kCycleBudget;
+  result.cycles = cycles_ - start;
+  result.stop_pc = cpu_.pc();
+  return result;
+}
+
+}  // namespace eilid::sim

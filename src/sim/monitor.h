@@ -1,0 +1,49 @@
+// Hardware-monitor interface: bus snooping (inherited from BusWatcher)
+// plus PC-transition and interrupt visibility. CASU and EILID hardware
+// are implemented against this interface; so is the test tracer.
+#ifndef EILID_SIM_MONITOR_H
+#define EILID_SIM_MONITOR_H
+
+#include <optional>
+
+#include "sim/bus.h"
+#include "sim/reset.h"
+
+namespace eilid::sim {
+
+class Monitor : public BusWatcher {
+ public:
+  // A violation latched by this monitor; the machine resets the device
+  // and records the reason.
+  virtual std::optional<ResetReason> pending_violation() const {
+    return std::nullopt;
+  }
+  virtual void clear_violation() {}
+
+  // Notification that the device reset (monitors re-arm their state).
+  virtual void on_device_reset() {}
+
+  // Interrupt gating: EILID masks interrupts while the PC is inside the
+  // secure ROM (atomicity of S_EILID functions).
+  virtual bool allow_interrupt(uint16_t current_pc) {
+    (void)current_pc;
+    return true;
+  }
+
+  // Fired when the CPU vectors to an ISR.
+  virtual void on_interrupt(int vector_index, uint16_t from_pc, uint16_t to_pc) {
+    (void)vector_index;
+    (void)from_pc;
+    (void)to_pc;
+  }
+
+  // Fired after each retired instruction with the PC transition.
+  virtual void on_step(uint16_t from_pc, uint16_t to_pc) {
+    (void)from_pc;
+    (void)to_pc;
+  }
+};
+
+}  // namespace eilid::sim
+
+#endif  // EILID_SIM_MONITOR_H

@@ -1,0 +1,28 @@
+#include "sim/reset.h"
+
+namespace eilid::sim {
+
+std::string reset_reason_name(ResetReason reason) {
+  switch (reason) {
+    case ResetReason::kPowerOn: return "power-on";
+    case ResetReason::kIllegalInstruction: return "illegal-instruction";
+    case ResetReason::kPmemWriteViolation: return "pmem-write";
+    case ResetReason::kDmemExecViolation: return "dmem-exec";
+    case ResetReason::kRomWriteViolation: return "rom-write";
+    case ResetReason::kRomEntryViolation: return "rom-entry";
+    case ResetReason::kRomExitViolation: return "rom-exit";
+    case ResetReason::kPrivilegedMmioViolation: return "privileged-mmio";
+    case ResetReason::kUpdateAuthFailure: return "update-auth";
+    case ResetReason::kSecureRamAccessViolation: return "secure-ram-access";
+    case ResetReason::kCfiReturnMismatch: return "cfi-return-mismatch";
+    case ResetReason::kCfiRfiMismatch: return "cfi-rfi-mismatch";
+    case ResetReason::kCfiIndirectCallViolation: return "cfi-indirect-call";
+    case ResetReason::kShadowStackOverflow: return "shadow-stack-overflow";
+    case ResetReason::kShadowStackUnderflow: return "shadow-stack-underflow";
+    case ResetReason::kIndTableFull: return "ind-table-full";
+    case ResetReason::kBadSelector: return "bad-selector";
+  }
+  return "unknown";
+}
+
+}  // namespace eilid::sim

@@ -1,0 +1,57 @@
+// Device reset causes. A reset is *normal simulated behaviour* (it is
+// EILID's enforcement action), so it is data, not an exception.
+#ifndef EILID_SIM_RESET_H
+#define EILID_SIM_RESET_H
+
+#include <cstdint>
+#include <string>
+
+namespace eilid::sim {
+
+enum class ResetReason : uint8_t {
+  kPowerOn = 0,
+  kIllegalInstruction,
+  // CASU invariants.
+  kPmemWriteViolation,     // store into program memory outside an update
+  kDmemExecViolation,      // W^X: instruction fetch from RAM / peripherals
+  kRomWriteViolation,      // store into secure ROM
+  kRomEntryViolation,      // jump into ROM not through the entry gate
+  kRomExitViolation,       // leaving ROM not through the leave section
+  kPrivilegedMmioViolation,  // app touched a ROM-only control register
+  kUpdateAuthFailure,      // secure update MAC mismatch
+  // EILID secure-memory extension.
+  kSecureRamAccessViolation,  // shadow-stack access with PC outside ROM
+  // CFI checks performed by EILIDsw (reported through the violation
+  // register; codes below are what the ROM writes).
+  kCfiReturnMismatch,
+  kCfiRfiMismatch,
+  kCfiIndirectCallViolation,
+  kShadowStackOverflow,
+  kShadowStackUnderflow,
+  kIndTableFull,
+  kBadSelector,
+};
+
+std::string reset_reason_name(ResetReason reason);
+
+// Codes the ROM writes to mmio::kViolationReg, mapped onto ResetReason
+// by the EILID monitor. Shared between the ROM generator and monitor.
+namespace viol {
+inline constexpr uint16_t kRa = 1;
+inline constexpr uint16_t kRfi = 2;
+inline constexpr uint16_t kInd = 3;
+inline constexpr uint16_t kOverflow = 4;
+inline constexpr uint16_t kUnderflow = 5;
+inline constexpr uint16_t kTableFull = 6;
+inline constexpr uint16_t kSelector = 7;
+}  // namespace viol
+
+struct ResetEvent {
+  uint64_t cycle = 0;
+  uint16_t pc = 0;  // pc of the violating instruction (0 for power-on)
+  ResetReason reason = ResetReason::kPowerOn;
+};
+
+}  // namespace eilid::sim
+
+#endif  // EILID_SIM_RESET_H

@@ -1,0 +1,177 @@
+// CASU substrate tests: the immutability/W^X/ROM-gate invariants and
+// the authenticated update protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "casu/monitor.h"
+#include "casu/update.h"
+#include "eilid/device.h"
+#include "eilid/pipeline.h"
+#include "masm/assembler.h"
+
+namespace eilid::casu {
+namespace {
+
+using sim::ResetReason;
+
+struct DeviceUnderTest {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<CasuMonitor> monitor;
+};
+
+DeviceUnderTest make_device(const std::string& body, CasuConfig cfg = {}) {
+  std::string src =
+      ".org 0xe000\nstart:\n    mov #0x1000, r1\n" + body +
+      "halt:\n    jmp halt\n.vector 15, start\n";
+  auto unit = masm::assemble_text(src, "casu");
+  DeviceUnderTest d;
+  d.machine = std::make_unique<sim::Machine>();
+  cfg.rom_present = false;  // bare CASU device unless a test injects ROM
+  d.monitor = std::make_unique<CasuMonitor>(cfg);
+  d.machine->add_monitor(d.monitor.get());
+  for (const auto& chunk : unit.image.chunks()) {
+    d.machine->load(chunk.base, chunk.data);
+  }
+  d.machine->power_on();
+  d.machine->set_halt_on_reset(true);
+  return d;
+}
+
+TEST(Casu, PmemWriteFromAppResets) {
+  auto d = make_device("    mov #0xdead, &0xe100\n");
+  auto r = d.machine->run(1000);
+  EXPECT_EQ(r.cause, sim::StopCause::kDeviceReset);
+  EXPECT_EQ(d.machine->resets().back().reason, ResetReason::kPmemWriteViolation);
+  // The store must not have landed (immutability, not just detection).
+  EXPECT_NE(d.machine->bus().raw_word(0xE100), 0xDEAD);
+}
+
+TEST(Casu, RamWriteIsFine) {
+  auto d = make_device("    mov #0xdead, &0x0300\n");
+  auto r = d.machine->run(1000);
+  EXPECT_EQ(r.cause, sim::StopCause::kCycleBudget);
+  EXPECT_EQ(d.machine->violation_count(), 0u);
+  EXPECT_EQ(d.machine->bus().raw_word(0x0300), 0xDEAD);
+}
+
+TEST(Casu, ExecFromRamResets) {
+  auto d = make_device(R"(    mov #0x4303, &0x0300
+    br #0x0300
+)");
+  auto r = d.machine->run(1000);
+  EXPECT_EQ(r.cause, sim::StopCause::kDeviceReset);
+  EXPECT_EQ(d.machine->resets().back().reason, ResetReason::kDmemExecViolation);
+}
+
+TEST(Casu, RomWriteResets) {
+  auto d = make_device("    mov #1, &0xa100\n");
+  d.machine->run(1000);
+  EXPECT_EQ(d.machine->resets().back().reason, ResetReason::kRomWriteViolation);
+}
+
+TEST(Casu, ViolationRegFromAppIsPrivileged) {
+  auto d = make_device("    mov #1, &0x0190\n");
+  d.machine->run(1000);
+  EXPECT_EQ(d.machine->resets().back().reason,
+            ResetReason::kPrivilegedMmioViolation);
+}
+
+TEST(Casu, KeyRegionUnreadableFromApp) {
+  auto d = make_device("    mov &0xafe0, r10\n");
+  d.machine->run(1000);
+  EXPECT_EQ(d.machine->resets().back().reason,
+            ResetReason::kSecureRamAccessViolation);
+}
+
+TEST(Casu, RomEntryGateEnforced) {
+  // A device WITH trusted ROM: jumping into the middle of the ROM body
+  // (past the entry section) must reset.
+  core::BuildResult build = core::build_app(
+      ".org 0xe000\nmain:\n    mov #0x1000, r1\nhalt:\n    jmp halt\n"
+      ".vector 15, main\n.end\n",
+      "gate");
+  uint16_t body_addr = build.rom.unit.symbols.at("S_EILID_store_ra");
+  std::string attack_src =
+      ".org 0xe000\nmain:\n    mov #0x1000, r1\n    br #" +
+      std::to_string(body_addr) + "\nhalt:\n    jmp halt\n.vector 15, main\n";
+  core::BuildResult attack = core::build_app(attack_src, "gate2",
+                                             {.eilid = false});
+  attack.rom = build.rom;  // same trusted ROM
+  core::Device device(attack, {.halt_on_reset = true});
+  auto r = device.machine().run(1000);
+  EXPECT_EQ(r.cause, sim::StopCause::kDeviceReset);
+  EXPECT_EQ(device.machine().resets().back().reason,
+            ResetReason::kRomEntryViolation);
+}
+
+TEST(Casu, RomEntryThroughStubIsLegal) {
+  core::BuildResult build = core::build_app(
+      ".org 0xe000\nmain:\n    mov #0x1000, r1\n    call #foo\nhalt:\n"
+      "    jmp halt\nfoo:\n    ret\n.vector 15, main\n.end\n",
+      "legal");
+  core::Device device(build, {.halt_on_reset = true});
+  auto r = device.run_to_symbol("halt", 5000);
+  EXPECT_EQ(r.cause, sim::StopCause::kBreakpoint);
+  EXPECT_EQ(device.machine().violation_count(), 0u);
+}
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    build_ = core::build_app(
+        ".org 0xe000\nmain:\n    mov #0x1000, r1\nhalt:\n    jmp halt\n"
+        ".vector 15, main\n.end\n",
+        "app");
+    device_ = std::make_unique<core::Device>(build_);
+    engine_ = std::make_unique<UpdateEngine>(
+        std::span<const uint8_t>(key_.data(), key_.size()), device_->monitor());
+  }
+
+  std::vector<uint8_t> key_ = std::vector<uint8_t>(32, 0x77);
+  core::BuildResult build_;
+  std::unique_ptr<core::Device> device_;
+  std::unique_ptr<UpdateEngine> engine_;
+};
+
+TEST_F(UpdateTest, ValidUpdateApplies) {
+  auto pkg = engine_->make_package(0xE800, 1, {0x11, 0x22, 0x33});
+  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kApplied);
+  EXPECT_EQ(device_->machine().bus().raw_byte(0xE800), 0x11);
+  EXPECT_EQ(engine_->current_version(), 1u);
+}
+
+TEST_F(UpdateTest, TamperedPayloadRejectedAndDeviceHeals) {
+  auto pkg = engine_->make_package(0xE800, 1, {0x11, 0x22, 0x33});
+  pkg.payload[0] = 0x99;  // tampered in transit
+  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadMac);
+  EXPECT_NE(device_->machine().bus().raw_byte(0xE800), 0x99);
+  device_->machine().run(100);
+  EXPECT_EQ(device_->machine().resets().back().reason,
+            ResetReason::kUpdateAuthFailure);
+}
+
+TEST_F(UpdateTest, RollbackRejected) {
+  auto v2 = engine_->make_package(0xE800, 2, {0xAA});
+  EXPECT_EQ(engine_->apply(device_->machine(), v2), UpdateStatus::kApplied);
+  auto v1 = engine_->make_package(0xE802, 1, {0xBB});
+  EXPECT_EQ(engine_->apply(device_->machine(), v1), UpdateStatus::kRollback);
+  auto v2b = engine_->make_package(0xE802, 2, {0xBB});
+  EXPECT_EQ(engine_->apply(device_->machine(), v2b), UpdateStatus::kRollback);
+}
+
+TEST_F(UpdateTest, NonPmemTargetRejected) {
+  auto pkg = engine_->make_package(0x0300, 1, {0x11});
+  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadRegion);
+}
+
+TEST_F(UpdateTest, WrongKeyRejected) {
+  std::vector<uint8_t> other_key(32, 0x78);
+  UpdateEngine rogue(std::span<const uint8_t>(other_key.data(), other_key.size()),
+                     device_->monitor());
+  auto pkg = rogue.make_package(0xE800, 1, {0x11});
+  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadMac);
+}
+
+}  // namespace
+}  // namespace eilid::casu

@@ -1,0 +1,283 @@
+// CPU core semantics: arithmetic and flags, addressing modes, stack
+// operations, byte mode, interrupts and timing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/registers.h"
+#include "masm/assembler.h"
+#include "sim/machine.h"
+
+namespace eilid::sim {
+namespace {
+
+namespace sr = isa::sr;
+
+// Assemble `body` at 0xE000 with a halt loop and run to completion.
+std::unique_ptr<Machine> run_snippet(const std::string& body,
+                                     uint64_t max_cycles = 100000) {
+  std::string src = ".org 0xe000\nstart:\n" + body + "\nhalt:\n    jmp halt\n" +
+                    ".vector 15, start\n";
+  auto unit = masm::assemble_text(src, "snippet");
+  auto machine = std::make_unique<Machine>();
+  for (const auto& chunk : unit.image.chunks()) {
+    machine->load(chunk.base, chunk.data);
+  }
+  machine->power_on();
+  machine->run_until(unit.symbols.at("halt"), max_cycles);
+  return machine;
+}
+
+TEST(Cpu, MovAndImmediates) {
+  auto m = run_snippet("    mov #0x1234, r10\n    mov r10, r11\n");
+  EXPECT_EQ(m->cpu().reg(10), 0x1234);
+  EXPECT_EQ(m->cpu().reg(11), 0x1234);
+}
+
+TEST(Cpu, AddSetsCarryAndOverflow) {
+  auto m = run_snippet(R"(    mov #0x7fff, r10
+    add #1, r10
+    mov r2, r11             ; capture SR
+    mov #0xffff, r12
+    add #1, r12
+    mov r2, r13
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0x8000);
+  EXPECT_TRUE(m->cpu().reg(11) & sr::kV) << "0x7fff+1 overflows";
+  EXPECT_TRUE(m->cpu().reg(11) & sr::kN);
+  EXPECT_FALSE(m->cpu().reg(11) & sr::kC);
+  EXPECT_EQ(m->cpu().reg(12), 0x0000);
+  EXPECT_TRUE(m->cpu().reg(13) & sr::kC) << "0xffff+1 carries";
+  EXPECT_TRUE(m->cpu().reg(13) & sr::kZ);
+}
+
+TEST(Cpu, SubAndCmpBorrowSemantics) {
+  auto m = run_snippet(R"(    mov #5, r10
+    sub #7, r10             ; 5-7 = -2, borrow -> C clear
+    mov r2, r11
+    mov #7, r12
+    cmp #5, r12             ; 7-5: no borrow -> C set, result discarded
+    mov r2, r13
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0xFFFE);
+  EXPECT_FALSE(m->cpu().reg(11) & sr::kC);
+  EXPECT_TRUE(m->cpu().reg(11) & sr::kN);
+  EXPECT_EQ(m->cpu().reg(12), 7);
+  EXPECT_TRUE(m->cpu().reg(13) & sr::kC);
+}
+
+TEST(Cpu, AddcUsesCarryChain) {
+  // 32-bit add: 0x0001FFFF + 1 via add/addc.
+  auto m = run_snippet(R"(    mov #0xffff, r10        ; low
+    mov #0x0001, r11        ; high
+    add #1, r10
+    addc #0, r11
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0x0000);
+  EXPECT_EQ(m->cpu().reg(11), 0x0002);
+}
+
+TEST(Cpu, DaddBcdArithmetic) {
+  auto m = run_snippet(R"(    clrc
+    mov #0x0199, r10
+    dadd #0x0001, r10       ; BCD: 199 + 1 = 200
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0x0200);
+}
+
+TEST(Cpu, LogicOpsAndFlags) {
+  auto m = run_snippet(R"(    mov #0x0ff0, r10
+    and #0x00ff, r10        ; 0x00f0
+    mov r2, r11
+    mov #0x00f0, r12
+    xor #0x00f0, r12        ; zero
+    mov r2, r13
+    mov #0xffff, r14
+    bic #0x00ff, r14
+    bis #0x0001, r14
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0x00F0);
+  EXPECT_TRUE(m->cpu().reg(11) & sr::kC) << "AND sets C = ~Z";
+  EXPECT_EQ(m->cpu().reg(12), 0);
+  EXPECT_TRUE(m->cpu().reg(13) & sr::kZ);
+  EXPECT_FALSE(m->cpu().reg(13) & sr::kC);
+  EXPECT_EQ(m->cpu().reg(14), 0xFF01);
+}
+
+TEST(Cpu, ShiftsAndSwpbSxt) {
+  auto m = run_snippet(R"(    mov #0x8003, r10
+    rra r10                 ; arithmetic: sign preserved, C = old LSB
+    mov r2, r11
+    mov #0x1234, r12
+    swpb r12
+    mov #0x0080, r13
+    sxt r13
+    clrc
+    mov #0x0001, r14
+    rrc r14                 ; C<-1, result 0
+    mov r2, r15
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0xC001);
+  EXPECT_TRUE(m->cpu().reg(11) & sr::kC);
+  EXPECT_EQ(m->cpu().reg(12), 0x3412);
+  EXPECT_EQ(m->cpu().reg(13), 0xFF80);
+  EXPECT_EQ(m->cpu().reg(14), 0x0000);
+  EXPECT_TRUE(m->cpu().reg(15) & sr::kC);
+}
+
+TEST(Cpu, ByteOperationsClearHighByte) {
+  auto m = run_snippet(R"(    mov #0xffff, r10
+    mov.b #0x12, r10        ; byte write to register clears high byte
+    mov #0xabcd, r11
+    mov r11, &0x0200
+    mov.b &0x0200, r12
+    add.b #0x40, r12        ; byte add, flags on 8 bits
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0x0012);
+  EXPECT_EQ(m->cpu().reg(12), 0x000D);
+}
+
+TEST(Cpu, MemoryByteAccessesAreByteGranular) {
+  auto m = run_snippet(R"(    mov #0x1122, &0x0200
+    mov.b #0xff, &0x0200    ; low byte only
+)");
+  EXPECT_EQ(m->bus().raw_word(0x0200), 0x11FF);
+}
+
+TEST(Cpu, AddressingModesIndexedIndirectAutoinc) {
+  auto m = run_snippet(R"(    mov #0x0200, r10
+    mov #0x1111, 0(r10)
+    mov #0x2222, 2(r10)
+    mov @r10+, r11
+    mov @r10+, r12
+    mov #0x0200, r13
+    mov 2(r13), r14
+)");
+  EXPECT_EQ(m->cpu().reg(11), 0x1111);
+  EXPECT_EQ(m->cpu().reg(12), 0x2222);
+  EXPECT_EQ(m->cpu().reg(10), 0x0204) << "autoincrement by 2 per word";
+  EXPECT_EQ(m->cpu().reg(14), 0x2222);
+}
+
+TEST(Cpu, ByteAutoincrementStepsByOneExceptSp) {
+  auto m = run_snippet(R"(    mov #0x0200, r10
+    mov #0x4142, &0x0200
+    mov.b @r10+, r11
+    mov.b @r10+, r12
+)");
+  EXPECT_EQ(m->cpu().reg(11), 0x42);  // little endian low byte first
+  EXPECT_EQ(m->cpu().reg(12), 0x41);
+  EXPECT_EQ(m->cpu().reg(10), 0x0202);
+}
+
+TEST(Cpu, CallRetAndStackDiscipline) {
+  auto m = run_snippet(R"(    mov #0x1000, r1
+    call #func
+    mov r1, r14             ; SP must be balanced
+    jmp halt
+func:
+    mov r1, r13             ; SP inside function (after push of RA)
+    ret
+)");
+  EXPECT_EQ(m->cpu().reg(13), 0x0FFE);
+  EXPECT_EQ(m->cpu().reg(14), 0x1000);
+}
+
+TEST(Cpu, PushPopRoundTrip) {
+  auto m = run_snippet(R"(    mov #0x1000, r1
+    mov #0xBEEF, r10
+    push r10
+    clr r10
+    pop r10
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0xBEEF);
+  EXPECT_EQ(m->cpu().reg(1), 0x1000);
+}
+
+TEST(Cpu, ConditionalJumpsSignedUnsigned) {
+  auto m = run_snippet(R"(    clr r10
+    mov #0xfffe, r11        ; -2 signed, 65534 unsigned
+    cmp #5, r11             ; r11 - 5
+    jl signed_less          ; signed: -2 < 5
+    mov #1, r10
+signed_less:
+    clr r12
+    cmp #5, r11
+    jnc unsigned_less       ; unsigned: 65534 >= 5 -> C set, not taken
+    mov #1, r12
+unsigned_less:
+)");
+  EXPECT_EQ(m->cpu().reg(10), 0) << "jl must be taken (signed)";
+  EXPECT_EQ(m->cpu().reg(12), 1) << "jnc must not be taken (unsigned)";
+}
+
+TEST(Cpu, WritesToR3Discarded) {
+  auto m = run_snippet("    mov #0x1234, r3\n    mov r3, r10\n");
+  EXPECT_EQ(m->cpu().reg(10), 0) << "r3 reads as constant 0";
+}
+
+TEST(Cpu, IllegalInstructionResets) {
+  // 0x0000 is unassigned: executing it resets the device.
+  std::string src = ".org 0xe000\nstart:\n    .word 0x0000\n.vector 15, start\n";
+  auto unit = masm::assemble_text(src, "ill");
+  Machine m;
+  for (const auto& chunk : unit.image.chunks()) m.load(chunk.base, chunk.data);
+  m.power_on();
+  m.set_halt_on_reset(true);
+  auto r = m.run(1000);
+  EXPECT_EQ(r.cause, StopCause::kDeviceReset);
+  EXPECT_EQ(m.resets().back().reason, ResetReason::kIllegalInstruction);
+}
+
+TEST(Cpu, InterruptEntryAndReti) {
+  auto m = run_snippet(R"(    mov #0x1000, r1
+    mov #50, &0x0102        ; TIMER_CCR0
+    mov #3, &0x0100         ; enable + irq
+    eint
+wait:
+    tst r10
+    jz wait
+    dint
+func_done:
+    mov r1, r14
+    jmp halt
+isr:
+    mov #1, r10
+    reti
+.vector 8, isr
+)",
+                       20000);
+  EXPECT_EQ(m->cpu().reg(10), 1) << "ISR must have run";
+  EXPECT_EQ(m->cpu().reg(14), 0x1000) << "RETI must rebalance the stack";
+}
+
+TEST(Cpu, InterruptsMaskedWithoutGie) {
+  auto m = run_snippet(R"(    mov #0x1000, r1
+    mov #50, &0x0102
+    mov #3, &0x0100         ; timer fires, but GIE is off
+    mov #200, r11
+spin:
+    dec r11
+    jnz spin
+)",
+                      20000);
+  EXPECT_EQ(m->cpu().reg(10), 0) << "ISR must not run with GIE clear";
+}
+
+TEST(Cpu, CycleAccountingKnownSequence) {
+  // mov #imm, r10 (2) + add r10, r11 (1) + jmp (2): verify run cycles.
+  std::string src =
+      ".org 0xe000\nstart:\n    mov #0x1234, r10\n    add r10, r11\nhalt:\n"
+      "    jmp halt\n.vector 15, start\n";
+  auto unit = masm::assemble_text(src, "cyc");
+  Machine m;
+  for (const auto& chunk : unit.image.chunks()) m.load(chunk.base, chunk.data);
+  m.power_on();
+  auto r = m.run_until(unit.symbols.at("halt"), 1000);
+  EXPECT_EQ(r.cause, StopCause::kBreakpoint);
+  EXPECT_EQ(r.cycles, 3u);
+  EXPECT_DOUBLE_EQ(m.micros(8), 1.0);  // 8 cycles at 8 MHz = 1 us
+}
+
+}  // namespace
+}  // namespace eilid::sim

@@ -1,0 +1,123 @@
+// Crypto substrate tests: SHA-256 against FIPS/NIST vectors,
+// HMAC-SHA256 against RFC 4231, and structural properties.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace eilid::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  std::string m(64, 'a');
+  EXPECT_EQ(digest_hex(sha256(m)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, FinishResetsForReuse) {
+  Sha256 h;
+  h.update("abc");
+  Digest first = h.finish();
+  h.update("abc");
+  Digest second = h.finish();
+  EXPECT_EQ(first, second);
+}
+
+class Sha256Incremental : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256Incremental, SplitEqualsOneShot) {
+  std::string msg;
+  for (int i = 0; i < 200; ++i) msg.push_back(static_cast<char>('A' + i % 23));
+  int split = GetParam();
+  Sha256 h;
+  h.update(msg.substr(0, static_cast<size_t>(split)));
+  h.update(msg.substr(static_cast<size_t>(split)));
+  EXPECT_EQ(h.finish(), sha256(msg)) << "split at " << split;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Sha256Incremental,
+                         ::testing::Values(0, 1, 31, 32, 55, 56, 63, 64, 65,
+                                           127, 128, 199, 200));
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  auto mac = hmac_sha256(
+      std::span<const uint8_t>(key.data(), key.size()),
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>("Hi There"), 8));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  auto mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> msg(50, 0xdd);
+  auto mac = hmac_sha256(std::span<const uint8_t>(key.data(), key.size()),
+                         std::span<const uint8_t>(msg.data(), msg.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  std::vector<uint8_t> key(131, 0xaa);
+  auto mac = hmac_sha256(
+      std::span<const uint8_t>(key.data(), key.size()),
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(
+              "Test Using Larger Than Block-Size Key - Hash Key First"),
+          54));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualDetectsDifference) {
+  Digest a = sha256("x");
+  Digest b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(Hmac, DerivedKeysAreDomainSeparated) {
+  std::vector<uint8_t> master(32, 0x11);
+  auto k1 = derive_key(std::span<const uint8_t>(master.data(), master.size()),
+                       "casu-update");
+  auto k2 = derive_key(std::span<const uint8_t>(master.data(), master.size()),
+                       "cfa-attest");
+  EXPECT_FALSE(digest_equal(k1, k2));
+}
+
+}  // namespace
+}  // namespace eilid::crypto

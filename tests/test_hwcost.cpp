@@ -1,0 +1,94 @@
+// Hardware cost model tests: primitive monotonicity, bill-of-materials
+// consistency with the paper's reported EILID numbers, and the Table I
+// technique database invariants.
+#include <gtest/gtest.h>
+
+#include "hwcost/literature.h"
+#include "hwcost/monitor_model.h"
+#include "hwcost/primitives.h"
+
+namespace eilid::hwcost {
+namespace {
+
+TEST(Primitives, WidthMonotonicity) {
+  EXPECT_LE(eq_comparator(8).luts, eq_comparator(16).luts);
+  EXPECT_LE(magnitude_comparator(8).luts, magnitude_comparator(16).luts);
+  EXPECT_EQ(range_check(16).luts, 2 * magnitude_comparator(16).luts);
+  EXPECT_EQ(reg(16).ffs, 16);
+  EXPECT_EQ(reg(16).luts, 0);
+  EXPECT_EQ(fsm(3, 6).ffs, 2);
+  EXPECT_EQ(fsm(5, 6).ffs, 3);
+}
+
+TEST(MonitorModel, ExtensionIsSmallFractionOfCasu) {
+  Cost casu = casu_monitor_bom().total();
+  Cost ext = eilid_extension_bom().total();
+  Cost full = eilid_full_bom().total();
+  EXPECT_EQ(full.luts, casu.luts + ext.luts);
+  EXPECT_EQ(full.ffs, casu.ffs + ext.ffs);
+  EXPECT_LT(ext.luts, casu.luts) << "EILID adds little on top of CASU";
+}
+
+TEST(MonitorModel, SameOrderAsPaperNumbers) {
+  // Paper: +99 LUTs, +34 registers. The structural model must land in
+  // the same order of magnitude (factor 2 band), or the model has
+  // diverged from the implemented checks.
+  Cost full = eilid_full_bom().total();
+  EXPECT_GE(full.luts, 50);
+  EXPECT_LE(full.luts, 200);
+  EXPECT_GE(full.ffs, 17);
+  EXPECT_LE(full.ffs, 68);
+}
+
+TEST(Techniques, EilidIsUniqueRealtimeLowEnd) {
+  int low_end_realtime = 0;
+  bool found_eilid = false;
+  for (const auto& t : techniques()) {
+    if (t.name == "EILID") {
+      found_eilid = true;
+      EXPECT_TRUE(t.realtime);
+      EXPECT_TRUE(t.forward_edge);
+      EXPECT_TRUE(t.backward_edge);
+      EXPECT_EQ(t.extra_luts, 99);
+      EXPECT_EQ(t.extra_regs, 34);
+      EXPECT_FALSE(t.approximate);
+    }
+    if (t.realtime && t.platform == "openMSP430") ++low_end_realtime;
+  }
+  EXPECT_TRUE(found_eilid);
+  EXPECT_EQ(low_end_realtime, 1) << "Table I claim: EILID is the only one";
+}
+
+TEST(Techniques, OpenMsp430CfaNumbersMatchPaperText) {
+  for (const auto& t : techniques()) {
+    if (t.name == "Tiny-CFA") {
+      EXPECT_EQ(t.extra_luts, 302);
+      EXPECT_EQ(t.extra_regs, 44);
+      EXPECT_FALSE(t.approximate);
+    }
+    if (t.name == "ACFA") {
+      EXPECT_EQ(t.extra_luts, 501);
+      EXPECT_EQ(t.extra_regs, 946);
+      EXPECT_FALSE(t.approximate);
+    }
+  }
+}
+
+TEST(Techniques, EilidCheapestOnItsPlatform) {
+  const Technique* eilid = nullptr;
+  for (const auto& t : techniques()) {
+    if (t.name == "EILID") eilid = &t;
+  }
+  ASSERT_NE(eilid, nullptr);
+  for (const auto& t : techniques()) {
+    if (t.extra_luts < 0 || t.name == "EILID") continue;
+    EXPECT_LT(eilid->extra_luts, t.extra_luts) << "vs " << t.name;
+    EXPECT_LT(eilid->extra_regs, t.extra_regs) << "vs " << t.name;
+  }
+  // Paper percentages: 99/1868 = 5.3%, 34/694 = 4.9%.
+  EXPECT_NEAR(100.0 * 99 / kOpenMsp430Luts, 5.3, 0.05);
+  EXPECT_NEAR(100.0 * 34 / kOpenMsp430Regs, 4.9, 0.05);
+}
+
+}  // namespace
+}  // namespace eilid::hwcost

@@ -1,0 +1,240 @@
+// Assembler tests: parsing, emulated expansion, directives, symbol
+// resolution, sizing invariants, listings and error reporting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "masm/assembler.h"
+#include "masm/emulated.h"
+#include "masm/parser.h"
+
+namespace eilid::masm {
+namespace {
+
+AssembledUnit asm_ok(const std::string& body) {
+  return assemble_text(".org 0xe000\n" + body, "test");
+}
+
+TEST(Parser, LabelsAndInstructions) {
+  Statement s = parse_line("loop: mov #0x10, r5 ; comment", "t", 1);
+  EXPECT_EQ(s.label, "loop");
+  EXPECT_EQ(s.kind, Statement::Kind::kInstruction);
+  EXPECT_EQ(s.mnemonic, "mov");
+  ASSERT_EQ(s.operands.size(), 2u);
+  EXPECT_EQ(s.operands[0].kind, OperandExpr::Kind::kImmediate);
+  EXPECT_EQ(s.operands[0].expr.offset, 0x10);
+  EXPECT_EQ(s.operands[1].kind, OperandExpr::Kind::kReg);
+  EXPECT_EQ(s.operands[1].reg, 5);
+}
+
+TEST(Parser, OperandKinds) {
+  auto op = [](const std::string& t) { return parse_operand(t, "t", 1); };
+  EXPECT_EQ(op("r12").kind, OperandExpr::Kind::kReg);
+  EXPECT_EQ(op("#42").kind, OperandExpr::Kind::kImmediate);
+  EXPECT_EQ(op("&0x0122").kind, OperandExpr::Kind::kAbsolute);
+  EXPECT_EQ(op("@r4").kind, OperandExpr::Kind::kIndirect);
+  EXPECT_EQ(op("@r4+").kind, OperandExpr::Kind::kIndirectInc);
+  EXPECT_EQ(op("4(r1)").kind, OperandExpr::Kind::kIndexed);
+  EXPECT_EQ(op("-2(r1)").expr.offset, -2);
+  EXPECT_EQ(op("label").kind, OperandExpr::Kind::kSymbolic);
+  EXPECT_EQ(op("buf+2").expr.symbol, "buf");
+  EXPECT_EQ(op("buf+2").expr.offset, 2);
+  // The paper's Fig. 4 spelling "@(r1)" is tolerated.
+  EXPECT_EQ(op("@(r1)").kind, OperandExpr::Kind::kIndirect);
+  EXPECT_EQ(op("#'A'").expr.offset, 'A');
+}
+
+TEST(Parser, RejectsBadOperands) {
+  EXPECT_THROW(parse_operand("@r99", "t", 1), AsmError);
+  EXPECT_THROW(parse_operand("4(notreg)", "t", 1), AsmError);
+  EXPECT_THROW(parse_operand("#", "t", 1), AsmError);
+}
+
+TEST(Emulated, RetExpandsToMovSpPc) {
+  Statement s = parse_line("ret", "t", 1);
+  EXPECT_TRUE(expand_emulated(s, "t"));
+  EXPECT_EQ(s.mnemonic, "mov");
+  ASSERT_EQ(s.operands.size(), 2u);
+  EXPECT_EQ(s.operands[0].kind, OperandExpr::Kind::kIndirectInc);
+  EXPECT_EQ(s.operands[0].reg, 1);
+  EXPECT_EQ(s.operands[1].reg, 0);
+}
+
+TEST(Emulated, AllFormsAssemble) {
+  auto unit = asm_ok(R"(start:
+    nop
+    clrc
+    setc
+    clrz
+    setz
+    clrn
+    setn
+    dint
+    eint
+    pop r10
+    clr r11
+    clr.b &0x0200
+    inc r12
+    incd r12
+    dec r12
+    decd r12
+    adc r13
+    sbc r13
+    dadc r13
+    tst r14
+    inv r15
+    rla r4
+    rlc r4
+    br #start
+    ret
+)");
+  EXPECT_GT(unit.image.size_bytes(), 20u);
+}
+
+TEST(Emulated, NopIsCanonical) {
+  auto unit = asm_ok("nop\n");
+  EXPECT_EQ(unit.image.word_at(0xE000), 0x4303);
+}
+
+TEST(Emulated, ArityErrors) {
+  EXPECT_THROW(asm_ok("ret r5\n"), AsmError);
+  EXPECT_THROW(asm_ok("pop\n"), AsmError);
+  EXPECT_THROW(asm_ok("inc r1, r2\n"), AsmError);
+}
+
+TEST(Assembler, SymbolResolutionForwardAndBack) {
+  auto unit = asm_ok(R"(    jmp fwd
+back:
+    nop
+fwd:
+    jmp back
+)");
+  EXPECT_EQ(unit.symbols.at("back"), 0xE002);
+  EXPECT_EQ(unit.symbols.at("fwd"), 0xE004);
+}
+
+TEST(Assembler, EquAndExpressions) {
+  auto unit = asm_ok(R"(.equ BASE, 0x0200
+.equ NEXT, BASE+4
+    mov &BASE, r10
+    mov #NEXT, r11
+data:
+    .word BASE, NEXT, data, data+2
+)");
+  EXPECT_EQ(unit.symbols.at("BASE"), 0x0200);
+  EXPECT_EQ(unit.symbols.at("NEXT"), 0x0204);
+  uint16_t data = unit.symbols.at("data");
+  EXPECT_EQ(unit.image.word_at(data), 0x0200);
+  EXPECT_EQ(unit.image.word_at(data + 2), 0x0204);
+  EXPECT_EQ(unit.image.word_at(data + 4), data);
+  EXPECT_EQ(unit.image.word_at(data + 6), data + 2);
+}
+
+TEST(Assembler, SymbolicImmediatesNeverCompress) {
+  // #TWO resolves to 2 (CG-eligible) but must keep its extension word
+  // so that pass-1 sizing matches pass-2 encoding.
+  auto unit = asm_ok(R"(.equ TWO, 2
+    mov #TWO, r10
+    mov #2, r11
+)");
+  // First mov: 2 words; second mov: 1 word (literal CG).
+  EXPECT_EQ(unit.image.size_bytes(), 6u);
+}
+
+TEST(Assembler, DataDirectives) {
+  auto unit = asm_ok(R"(bytes:
+    .byte 1, 2, 0xFF
+text:
+    .asciz "Hi\n"
+    .align 2
+words:
+    .word 0xBEEF
+    .space 4
+after:
+)");
+  uint16_t b = unit.symbols.at("bytes");
+  EXPECT_EQ(unit.image.byte_at(b), 1);
+  EXPECT_EQ(unit.image.byte_at(b + 2), 0xFF);
+  uint16_t t = unit.symbols.at("text");
+  EXPECT_EQ(unit.image.byte_at(t), 'H');
+  EXPECT_EQ(unit.image.byte_at(t + 2), '\n');
+  EXPECT_EQ(unit.image.byte_at(t + 3), 0);
+  uint16_t w = unit.symbols.at("words");
+  EXPECT_EQ(w % 2, 0) << ".align 2 must have realigned";
+  EXPECT_EQ(unit.image.word_at(w), 0xBEEF);
+  EXPECT_EQ(unit.symbols.at("after"), w + 6);
+}
+
+TEST(Assembler, VectorsInstallHandlers) {
+  auto unit = asm_ok(R"(main:
+    nop
+isr:
+    reti
+.vector 15, main
+.vector 8, isr
+)");
+  EXPECT_EQ(unit.image.word_at(0xFFFE), unit.symbols.at("main"));
+  EXPECT_EQ(unit.image.word_at(0xFFF0), unit.symbols.at("isr"));
+  EXPECT_EQ(unit.vectors.at(15), "main");
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble_text("mov r4, r5\n", "t"), AsmError);  // before .org
+  EXPECT_THROW(asm_ok("bogus r4\n"), AsmError);
+  EXPECT_THROW(asm_ok("dup:\ndup:\n"), AsmError);
+  EXPECT_THROW(asm_ok("jmp nowhere\n"), AsmError);
+  EXPECT_THROW(asm_ok(".byte 1\nmisaligned: nop\n"), AsmError);
+  EXPECT_THROW(asm_ok(".vector 16, main\n"), AsmError);
+  EXPECT_THROW(asm_ok("    mov #0x123z, r4\n"), AsmError);
+}
+
+TEST(Assembler, JumpRangeEnforced) {
+  std::string body = "    jmp far\n";
+  for (int i = 0; i < 600; ++i) body += "    nop\n";
+  body += "far:\n    nop\n";
+  EXPECT_THROW(asm_ok(body), AsmError);
+}
+
+TEST(Listing, AddressesAndNextAddress) {
+  auto unit = asm_ok(R"(    mov #0x1234, r10
+    call #0xe100
+    ret
+)");
+  const auto& lines = unit.listing.lines;
+  // Line 0 is the .org; instruction lines follow.
+  size_t mov_idx = 1;
+  EXPECT_TRUE(lines[mov_idx].is_instruction);
+  EXPECT_EQ(lines[mov_idx].address, 0xE000);
+  EXPECT_EQ(lines[mov_idx].bytes.size(), 4u);
+  EXPECT_EQ(unit.listing.next_address(mov_idx), 0xE004);
+  EXPECT_EQ(lines[mov_idx + 1].mnemonic, "call");
+  std::string rendered = unit.listing.render();
+  EXPECT_NE(rendered.find("e000"), std::string::npos);
+}
+
+TEST(Image, OverlapDetection) {
+  MemoryImage a;
+  a.emit_word(0x1000, 0x1111);
+  MemoryImage b;
+  b.emit_word(0x1001, 0x2222);  // overlaps a's second byte
+  EXPECT_THROW(a.merge(b), LinkError);
+}
+
+TEST(Image, ChunksAreContiguousRuns) {
+  MemoryImage a;
+  a.emit_word(0x1000, 0x1111);
+  a.emit_word(0x1002, 0x2222);
+  a.emit_word(0x2000, 0x3333);
+  auto chunks = a.chunks();
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].base, 0x1000);
+  EXPECT_EQ(chunks[0].data.size(), 4u);
+  EXPECT_EQ(chunks[1].base, 0x2000);
+}
+
+TEST(Assembler, EndStopsAssembly) {
+  auto unit = asm_ok("    nop\n.end\n    bogus_mnemonic r5\n");
+  EXPECT_EQ(unit.image.size_bytes(), 2u);
+}
+
+}  // namespace
+}  // namespace eilid::masm

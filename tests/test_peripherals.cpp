@@ -1,0 +1,143 @@
+// Peripheral model tests: timer prescaling and interrupts, ADC series,
+// GPIO tracing, UART queues, ultrasonic echoes, LCD capture.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/machine.h"
+#include "sim/memory_map.h"
+
+namespace eilid::sim {
+namespace {
+
+TEST(Timer, CountsAndFlagsAtCompare) {
+  TimerA timer;
+  timer.write(mmio::kTimerCcr0, 100);
+  timer.write(mmio::kTimerCtl, 0x1);  // enable, no irq
+  timer.tick(99);
+  EXPECT_EQ(timer.read(mmio::kTimerFlags), 0);
+  timer.tick(1);
+  EXPECT_EQ(timer.read(mmio::kTimerFlags), 1);
+  EXPECT_EQ(timer.pending_irq(), -1) << "irq disabled";
+}
+
+TEST(Timer, PrescalerDividesBy8) {
+  TimerA timer;
+  timer.write(mmio::kTimerCcr0, 10);
+  timer.write(mmio::kTimerCtl, 0x11);  // enable, prescale 8
+  timer.tick(79);
+  EXPECT_EQ(timer.read(mmio::kTimerFlags), 0);
+  timer.tick(1);
+  EXPECT_EQ(timer.read(mmio::kTimerFlags), 1);
+}
+
+TEST(Timer, IrqLatchAndAck) {
+  TimerA timer;
+  timer.write(mmio::kTimerCcr0, 4);
+  timer.write(mmio::kTimerCtl, 0x3);
+  timer.tick(4);
+  EXPECT_EQ(timer.pending_irq(), irq::kTimer);
+  timer.ack_irq();
+  EXPECT_EQ(timer.pending_irq(), -1);
+  timer.tick(4);
+  EXPECT_EQ(timer.pending_irq(), irq::kTimer) << "re-latches at next compare";
+}
+
+TEST(Adc, ConversionTakesTimeAndCyclesSeries) {
+  Adc adc;
+  adc.set_channel_series(1, {100, 200});
+  adc.write(mmio::kAdcCtl, 0x101);
+  EXPECT_EQ(adc.read(mmio::kAdcStat), 0);
+  adc.tick(Adc::kConversionCycles);
+  EXPECT_EQ(adc.read(mmio::kAdcStat), 1);
+  EXPECT_EQ(adc.read(mmio::kAdcMem), 100);
+  adc.write(mmio::kAdcCtl, 0x101);
+  adc.tick(Adc::kConversionCycles);
+  EXPECT_EQ(adc.read(mmio::kAdcMem), 200);
+  adc.write(mmio::kAdcCtl, 0x101);
+  adc.tick(Adc::kConversionCycles);
+  EXPECT_EQ(adc.read(mmio::kAdcMem), 100) << "series wraps";
+  EXPECT_EQ(adc.conversions_done(), 3u);
+}
+
+TEST(Gpio, TracksOutputEdges) {
+  GpioPort port(mmio::kP1In, mmio::kP1Out, mmio::kP1Dir);
+  port.write(mmio::kP1Dir, 0xFF);
+  port.tick(10);
+  port.write(mmio::kP1Out, 0x01);
+  port.tick(5);
+  port.write(mmio::kP1Out, 0x01);  // no change: no edge
+  port.write(mmio::kP1Out, 0x03);
+  ASSERT_EQ(port.output_trace().size(), 2u);
+  EXPECT_EQ(port.output_trace()[0].cycle, 10u);
+  EXPECT_EQ(port.output_trace()[0].value, 0x01);
+  EXPECT_EQ(port.output_trace()[1].value, 0x03);
+  port.set_input(0xA5);
+  EXPECT_EQ(port.read(mmio::kP1In), 0xA5);
+}
+
+TEST(Uart, FeedReadAndStatus) {
+  Uart uart;
+  EXPECT_EQ(uart.read(mmio::kUartStat) & 1, 0);
+  uart.feed(std::string("AB"));
+  EXPECT_EQ(uart.read(mmio::kUartStat) & 1, 1);
+  EXPECT_EQ(uart.read(mmio::kUartRx), 'A');
+  EXPECT_EQ(uart.read(mmio::kUartRx), 'B');
+  EXPECT_EQ(uart.read(mmio::kUartStat) & 1, 0);
+  uart.write(mmio::kUartTx, 'x');
+  EXPECT_EQ(uart.tx_text(), "x");
+}
+
+TEST(Uart, IrqOnlyWhenEnabledAndPending) {
+  Uart uart;
+  uart.feed(std::string("Z"));
+  EXPECT_EQ(uart.pending_irq(), -1);
+  uart.write(mmio::kUartStat, 0x4);  // enable rx irq
+  EXPECT_EQ(uart.pending_irq(), irq::kUartRx);
+  uart.read(mmio::kUartRx);
+  EXPECT_EQ(uart.pending_irq(), -1) << "level-triggered: drained";
+}
+
+TEST(Ultrasonic, EchoWidthProportionalToDistance) {
+  Ultrasonic us;
+  us.set_distances_mm({100, 200});
+  us.write(mmio::kUsTrig, 1);
+  EXPECT_EQ(us.read(mmio::kUsStat), 0);
+  us.tick(100 + 100 * 4);
+  EXPECT_EQ(us.read(mmio::kUsStat), 1);
+  EXPECT_EQ(us.read(mmio::kUsEcho), 100 * Ultrasonic::kCyclesPerMm);
+  us.write(mmio::kUsTrig, 1);
+  us.tick(100 + 200 * 4);
+  EXPECT_EQ(us.read(mmio::kUsEcho), 200 * Ultrasonic::kCyclesPerMm);
+  EXPECT_EQ(us.pings(), 2u);
+}
+
+TEST(Lcd, CapturesCommandAndDataStream) {
+  Lcd lcd;
+  lcd.write(mmio::kLcdCmd, 0x38);
+  lcd.write(mmio::kLcdData, 'H');
+  lcd.write(mmio::kLcdData, 'i');
+  ASSERT_EQ(lcd.stream().size(), 3u);
+  EXPECT_FALSE(lcd.stream()[0].is_data);
+  EXPECT_EQ(lcd.text(), "Hi");
+}
+
+TEST(Bus, PeripheralOverlapRejected) {
+  Bus bus;
+  TimerA t1, t2;
+  bus.add_peripheral(&t1);
+  EXPECT_THROW(bus.add_peripheral(&t2), ConfigError);
+}
+
+TEST(Machine, WipeVolatileClearsRamNotPmem) {
+  Machine m;
+  m.bus().raw_store_word(0x0300, 0x1234);      // RAM
+  m.bus().raw_store_word(0x2000, 0x5678);      // secure RAM
+  m.bus().raw_store_word(0xE000, 0x9ABC);      // PMEM
+  m.bus().wipe_volatile();
+  EXPECT_EQ(m.bus().raw_word(0x0300), 0);
+  EXPECT_EQ(m.bus().raw_word(0x2000), 0);
+  EXPECT_EQ(m.bus().raw_word(0xE000), 0x9ABC);
+}
+
+}  // namespace
+}  // namespace eilid::sim
