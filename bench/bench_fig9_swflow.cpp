@@ -4,9 +4,8 @@
 #include <cstdio>
 
 #include "src/common/hex.h"
-#include "src/eilid/device.h"
+#include "src/eilid/fleet.h"
 #include "src/eilid/inspect.h"
-#include "src/eilid/pipeline.h"
 #include "src/sim/monitor.h"
 
 using namespace eilid;
@@ -62,8 +61,10 @@ foo:
 }  // namespace
 
 int main() {
-  core::BuildResult build = core::build_app(kApp, "flow");
-  core::Device device(build);
+  Fleet fleet;
+  DeviceSession& device =
+      fleet.provision("flow", kApp, "flow", EnforcementPolicy::kEilidHw);
+  const core::BuildResult& build = device.build();
   FlowTracer tracer(build.rom);
   device.machine().add_monitor(&tracer);
 
@@ -84,6 +85,6 @@ int main() {
   std::printf("  slot addressing: base + 2*r5 (r5 increments on store, "
               "decrements on check)\n");
   std::printf("  device resets observed: %zu (must be 0)\n",
-              device.machine().violation_count());
-  return device.machine().violation_count() == 0 ? 0 : 1;
+              device.violation_count());
+  return device.violation_count() == 0 ? 0 : 1;
 }

@@ -1,0 +1,103 @@
+// Fleet-scale smoke baseline: provision 64 CFA-attested devices from 4
+// cached builds (16 devices per Table IV app), drive every device to
+// its halt label in attestation windows, and batch-verify the whole
+// fleet after each window. Reports wall-clock for provisioning,
+// simulation and verification so later scaling PRs (sharding, async
+// verification) have a number to beat.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/eilid/fleet.h"
+
+using namespace eilid;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+constexpr int kDevicesPerApp = 16;
+constexpr uint64_t kWindowCycles = 25000;
+
+}  // namespace
+
+int main() {
+  const char* kAppNames[4] = {"light_sensor", "temp_sensor", "charlieplexing",
+                              "lcd_sensor"};
+  Fleet fleet;
+
+  // --- provision: 64 sessions, 4 pipeline runs --------------------
+  auto t0 = clock_type::now();
+  std::vector<DeviceSession*> devices;
+  std::vector<const apps::AppSpec*> specs;
+  for (const char* name : kAppNames) {
+    const auto& app = apps::app_by_name(name);
+    for (int i = 0; i < kDevicesPerApp; ++i) {
+      DeviceSession& dev = fleet.provision(
+          app.name + "-" + std::to_string(i), app.source, app.name,
+          EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 16384}});
+      app.setup(dev.machine());
+      devices.push_back(&dev);
+      specs.push_back(&app);
+    }
+  }
+  double provision_ms = ms_since(t0);
+
+  // --- run + attest in windows ------------------------------------
+  double run_ms = 0, attest_ms = 0;
+  uint64_t total_cycles = 0;
+  size_t reports = 0, report_failures = 0, halted = 0;
+  std::vector<bool> done(devices.size(), false);
+  int windows = 0;
+  while (halted < devices.size()) {
+    ++windows;
+    auto tr = clock_type::now();
+    for (size_t i = 0; i < devices.size(); ++i) {
+      if (done[i]) continue;
+      auto run = devices[i]->run_to_symbol("halt", kWindowCycles);
+      total_cycles += run.cycles;
+      if (run.cause == sim::StopCause::kBreakpoint) {
+        done[i] = true;
+        ++halted;
+      }
+    }
+    run_ms += ms_since(tr);
+
+    auto ta = clock_type::now();
+    for (const auto& verdict : fleet.verifier().verify_all()) {
+      ++reports;
+      if (!verdict.ok()) ++report_failures;
+    }
+    attest_ms += ms_since(ta);
+    if (windows > 100) break;  // safety net; budgets make this unreachable
+  }
+
+  size_t check_failures = 0;
+  for (size_t i = 0; i < devices.size(); ++i) {
+    if (!specs[i]->check(devices[i]->machine()).empty()) ++check_failures;
+  }
+
+  std::printf("Fleet scale smoke: %zu devices, %zu pipeline runs "
+              "(%zu cache hits)\n",
+              fleet.size(), fleet.pipeline_runs(), fleet.build_cache_hits());
+  std::printf("  provision:  %8.1f ms (build + flash + enroll)\n",
+              provision_ms);
+  std::printf("  simulate:   %8.1f ms for %llu cycles over %d windows\n",
+              run_ms, static_cast<unsigned long long>(total_cycles), windows);
+  std::printf("  attest:     %8.1f ms for %zu reports (%zu path/MAC/seq "
+              "failures)\n",
+              attest_ms, reports, report_failures);
+  std::printf("  workloads:  %zu/%zu reached halt, %zu host-check failures\n",
+              halted, devices.size(), check_failures);
+
+  bool ok = halted == devices.size() && report_failures == 0 &&
+            check_failures == 0;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

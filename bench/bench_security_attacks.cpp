@@ -1,19 +1,23 @@
 // Security evaluation (paper §III-C, P1-P3): runs the attack suite on
 // an unprotected (CASU-only) device and on the EILID device, reporting
-// outcome and real-time detection latency. CFA comparisons live in
-// bench_ablation_cfa_latency.
+// outcome and real-time detection latency. All devices are provisioned
+// from one Fleet, so the two vuln_gateway builds (plain, EILID) run
+// the pipeline once each no matter how many scenarios reuse them. CFA
+// comparisons live in bench_ablation_cfa_latency.
 #include <cstdio>
 #include <functional>
 #include <string>
 
 #include "src/apps/apps.h"
 #include "src/attacks/attack.h"
-#include "src/eilid/device.h"
-#include "src/eilid/pipeline.h"
+#include "src/eilid/fleet.h"
 
 using namespace eilid;
 
 namespace {
+
+Fleet g_fleet;
+int g_device_counter = 0;
 
 struct Outcome {
   bool hijacked = false;       // attacker goal reached
@@ -22,14 +26,19 @@ struct Outcome {
   uint64_t latency_cycles = 0; // attack fire -> reset
 };
 
+DeviceSession& provision(const apps::AppSpec& app, bool eilid) {
+  EnforcementPolicy policy =
+      eilid ? EnforcementPolicy::kEilidHw : EnforcementPolicy::kCasu;
+  std::string id = app.name + "-" + std::to_string(g_device_counter++);
+  return g_fleet.provision(id, app.source, app.name, policy,
+                           {.halt_on_reset = true});
+}
+
 // P1: UART stack-overflow exploit redirecting recv_packet's return to
 // `unlock`. Hijack marker: 'U' on the UART.
 Outcome run_p1(bool eilid) {
   const auto& app = apps::vuln_gateway();
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device = provision(app, eilid);
   device.machine().uart().feed(
       attacks::overflow_ret_payload(device.symbol("unlock")));
   device.run_to_symbol("halt", app.cycle_budget);
@@ -37,10 +46,8 @@ Outcome run_p1(bool eilid) {
   Outcome out;
   out.hijacked =
       device.machine().uart().tx_text().find('U') != std::string::npos;
-  out.detected = device.machine().violation_count() > 0;
-  if (out.detected) {
-    out.reason = sim::reset_reason_name(device.machine().resets().back().reason);
-  }
+  out.detected = device.violation_count() > 0;
+  out.reason = device.last_reset_reason();
   return out;
 }
 
@@ -51,10 +58,7 @@ Outcome run_p1(bool eilid) {
 // halt, truncating the run (fewer than 16 frames transmitted).
 Outcome run_p2(bool eilid) {
   const auto& app = apps::app_by_name("light_sensor");
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device = provision(app, eilid);
   app.setup(device.machine());
 
   attacks::AttackEngine engine(device.machine());
@@ -68,7 +72,8 @@ Outcome run_p2(bool eilid) {
     // the veneer call pushed its return address, so the saved PC sits
     // at SP+8.
     attack.trigger = {attacks::Trigger::Kind::kAtPc,
-                      build.rom.unit.symbols.at("S_EILID_store_rfi"), 1};
+                      device.build().rom.unit.symbols.at("S_EILID_store_rfi"),
+                      1};
     w.addr = 8;
   } else {
     // No prologue on the plain device: saved PC at SP+2 at ISR entry.
@@ -82,10 +87,10 @@ Outcome run_p2(bool eilid) {
   device.run_to_symbol("halt", app.cycle_budget);
   Outcome out;
   out.hijacked = device.machine().uart().tx_log().size() < 112 &&
-                 device.machine().violation_count() == 0;
-  out.detected = device.machine().violation_count() > 0;
+                 device.violation_count() == 0;
+  out.detected = device.violation_count() > 0;
   if (out.detected) {
-    out.reason = sim::reset_reason_name(device.machine().resets().back().reason);
+    out.reason = device.last_reset_reason();
     out.latency_cycles =
         device.machine().resets().back().cycle - engine.last_fire_cycle();
   }
@@ -96,10 +101,7 @@ Outcome run_p2(bool eilid) {
 // entry table). Hijack marker: 'U'.
 Outcome run_p3(bool eilid) {
   const auto& app = apps::vuln_gateway();
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device = provision(app, eilid);
   device.machine().uart().feed(attacks::benign_payload());
 
   attacks::AttackEngine engine(device.machine());
@@ -116,9 +118,9 @@ Outcome run_p3(bool eilid) {
   Outcome out;
   out.hijacked =
       device.machine().uart().tx_text().find('U') != std::string::npos;
-  out.detected = device.machine().violation_count() > 0;
+  out.detected = device.violation_count() > 0;
   if (out.detected) {
-    out.reason = sim::reset_reason_name(device.machine().resets().back().reason);
+    out.reason = device.last_reset_reason();
     out.latency_cycles =
         device.machine().resets().back().cycle - engine.last_fire_cycle();
   }
@@ -129,10 +131,7 @@ Outcome run_p3(bool eilid) {
 // W^X stops this on BOTH devices (EILID inherits it).
 Outcome run_wx(bool eilid) {
   const auto& app = apps::vuln_gateway();
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device = provision(app, eilid);
   // Redirect the overflowed return straight into RAM (0x0300), where
   // the adversary staged shellcode.
   device.machine().bus().raw_store_word(0x0300, 0x4303);  // nop
@@ -140,10 +139,8 @@ Outcome run_wx(bool eilid) {
   device.run_to_symbol("halt", app.cycle_budget);
 
   Outcome out;
-  out.detected = device.machine().violation_count() > 0;
-  if (out.detected) {
-    out.reason = sim::reset_reason_name(device.machine().resets().back().reason);
-  }
+  out.detected = device.violation_count() > 0;
+  out.reason = device.last_reset_reason();
   out.hijacked = !out.detected;
   return out;
 }
@@ -181,5 +178,9 @@ int main() {
               "cycles); the\nunprotected device is hijacked except for code "
               "injection, which CASU's W^X\nalready prevents (the paper's "
               "baseline guarantee).\n");
+  std::printf("(%zu devices from %zu pipeline runs; the build cache served "
+              "%zu hits.)\n",
+              g_fleet.size(), g_fleet.pipeline_runs(),
+              g_fleet.build_cache_hits());
   return 0;
 }

@@ -7,8 +7,8 @@
 #include <string>
 
 #include "apps/apps.h"
-#include "eilid/device.h"
-#include "eilid/pipeline.h"
+#include "eilid/device.h"  // deprecated shim; ablation benches still use it
+#include "eilid/fleet.h"
 
 namespace eilid::bench {
 
@@ -20,20 +20,22 @@ struct AppRun {
   bool reached_halt = false;
 };
 
-// Build (original or EILID) and run one Table IV app to its halt label.
+// Build (original or EILID) and run one Table IV app to its halt label
+// on a single-device fleet session.
 inline AppRun run_app(const apps::AppSpec& app, bool eilid,
                       core::BuildOptions options = {}) {
   options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build);
-  app.setup(device.machine());
-  auto run = device.run_to_symbol("halt", 8 * app.cycle_budget);
+  Fleet fleet;
+  DeviceSession& device = fleet.deploy(
+      app.name, fleet.build(app.source, app.name, options),
+      eilid ? EnforcementPolicy::kEilidHw : EnforcementPolicy::kCasu);
+  apps::WorkloadOutcome run = apps::run_workload(device, app);
   AppRun out;
-  out.binary_size = build.binary_size();
+  out.binary_size = device.build().binary_size();
   out.cycles = run.cycles;
   out.micros = device.machine().micros(run.cycles);
-  out.violations = device.machine().violation_count();
-  out.reached_halt = run.cause == sim::StopCause::kBreakpoint;
+  out.violations = run.violations;
+  out.reached_halt = run.reached_halt;
   return out;
 }
 

@@ -1,31 +1,33 @@
 // Attack walk-through on the vulnerable UART gateway: a real stack
 // overflow exploited end-to-end (the adversary only sends bytes), plus
-// a function-pointer hijack, on both device configurations. Also
+// a function-pointer hijack, on both enforcement policies. Also
 // enumerates ROP gadgets to show the code-reuse surface that EILID's
-// backward-edge CFI neutralises.
+// backward-edge CFI neutralises. Every device is provisioned through
+// the Fleet facade; the vuln_gateway app is built once per policy and
+// shared by all its devices via the build cache.
 #include <cstdio>
 
 #include "src/apps/apps.h"
 #include "src/attacks/attack.h"
 #include "src/attacks/gadgets.h"
-#include "src/eilid/device.h"
-#include "src/eilid/pipeline.h"
+#include "src/eilid/fleet.h"
 
 using namespace eilid;
 
 namespace {
 
-void exploit_run(bool eilid) {
+void exploit_run(Fleet& fleet, EnforcementPolicy policy) {
   const auto& app = apps::vuln_gateway();
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  const char* label =
+      policy == EnforcementPolicy::kEilidHw ? "EILID" : "plain";
+  DeviceSession& device =
+      fleet.provision(std::string("smash-") + label, app.source, app.name,
+                      policy, {.halt_on_reset = true});
 
   uint16_t unlock = device.symbol("unlock");
   std::printf("  [%s] sending packet: len=10, 8 filler bytes, return "
               "address -> unlock (0x%04x)\n",
-              eilid ? "EILID" : "plain", unlock);
+              label, unlock);
   device.machine().uart().feed(attacks::overflow_ret_payload(unlock));
   device.run_to_symbol("halt", 200000);
 
@@ -34,26 +36,26 @@ void exploit_run(bool eilid) {
   if (hijacked) {
     std::printf("  [%s] device transmitted 'U': unlock() executed -- "
                 "HIJACKED\n",
-                eilid ? "EILID" : "plain");
+                label);
   }
-  if (device.machine().violation_count() > 0) {
-    std::printf("  [%s] device reset: %s\n", eilid ? "EILID" : "plain",
-                sim::reset_reason_name(device.machine().resets().back().reason)
-                    .c_str());
+  if (device.violation_count() > 0) {
+    std::printf("  [%s] device reset: %s\n", label,
+                device.last_reset_reason().c_str());
   }
 }
 
-void fptr_run(uint16_t target_symbolic, const char* what) {
+void fptr_run(Fleet& fleet, const char* device_id, uint16_t target,
+              const char* what) {
   const auto& app = apps::vuln_gateway();
-  core::BuildResult build = core::build_app(app.source, app.name);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device =
+      fleet.provision(device_id, app.source, app.name,
+                      EnforcementPolicy::kEilidHw, {.halt_on_reset = true});
   device.machine().uart().feed(attacks::benign_payload());
 
   attacks::AttackEngine engine(device.machine());
   attacks::Attack a;
   a.name = "fptr";
   a.trigger = {attacks::Trigger::Kind::kAtPc, device.symbol("act"), 1};
-  uint16_t target = target_symbolic;
   attacks::MemWrite w;
   w.addr = 0x0202;  // FPTR
   w.value = target;
@@ -62,10 +64,8 @@ void fptr_run(uint16_t target_symbolic, const char* what) {
   device.run_to_symbol("halt", 200000);
 
   std::printf("  FPTR -> %s (0x%04x): %s\n", what, target,
-              device.machine().violation_count()
-                  ? sim::reset_reason_name(
-                        device.machine().resets().back().reason)
-                        .c_str()
+              device.violation_count()
+                  ? device.last_reset_reason().c_str()
                   : "allowed (target is in the entry table)");
 }
 
@@ -73,33 +73,37 @@ void fptr_run(uint16_t target_symbolic, const char* what) {
 
 int main() {
   const auto& app = apps::vuln_gateway();
-  core::BuildResult plain = core::build_app(
-      app.source, app.name, {.eilid = false});
+  Fleet fleet;
+  auto plain = fleet.build(app.source, app.name, {.eilid = false});
 
   std::printf("== ROP surface ==\n");
   auto gadgets =
-      attacks::find_gadgets(plain.app.image, 0xE000, 0xF000, /*max_len=*/3);
+      attacks::find_gadgets(plain->app.image, 0xE000, 0xF000, /*max_len=*/3);
   int rets = 0;
   for (const auto& g : gadgets) rets += g.ends_in_ret ? 1 : 0;
   std::printf("  %zu gadgets in a %zu-byte binary (%d ending in ret); "
               "examples:\n",
-              gadgets.size(), plain.binary_size(), rets);
+              gadgets.size(), plain->binary_size(), rets);
   for (size_t i = 0; i < gadgets.size() && i < 4; ++i) {
     std::printf("    0x%04x: %s\n", gadgets[i].addr, gadgets[i].text.c_str());
   }
 
   std::printf("\n== P1: stack-smash exploit (adversary only sends bytes) ==\n");
-  exploit_run(false);
-  exploit_run(true);
+  exploit_run(fleet, EnforcementPolicy::kCasu);
+  exploit_run(fleet, EnforcementPolicy::kEilidHw);
 
   std::printf("\n== P3: function-pointer hijack on the EILID device ==\n");
-  core::BuildResult eilid_build = core::build_app(app.source, app.name);
-  core::Device probe(eilid_build);
-  fptr_run(probe.symbol("unlock"), "unlock (not registered)");
-  fptr_run(probe.symbol("blink"), "blink (registered .func)");
+  // One cached EILID build serves the probe lookups and both devices.
+  auto eilid_build = fleet.build(app.source, app.name);
+  fptr_run(fleet, "fptr-unlock", eilid_build->app.symbols.at("unlock"),
+           "unlock (not registered)");
+  fptr_run(fleet, "fptr-blink", eilid_build->app.symbols.at("blink"),
+           "blink (registered .func)");
   std::printf(
       "\nFunction-level granularity, exactly as the paper states: redirecting\n"
       "to another *registered* entry is not detected (P3's stated limit),\n"
       "while any unregistered target resets the device.\n");
+  std::printf("(%zu devices, %zu pipeline runs, %zu cache hits.)\n",
+              fleet.size(), fleet.pipeline_runs(), fleet.build_cache_hits());
   return 0;
 }

@@ -1,18 +1,19 @@
-// Quickstart: the EILID library in one file.
+// Quickstart: the EILID library in one file, through the Fleet API.
 //
 //   1. Write an MSP430 application (assembly, as EILIDinst consumes).
-//   2. Build it twice: original, and EILID-instrumented through the
-//      three-iteration pipeline (Fig. 2 of the paper).
-//   3. Run both on the simulated CASU/EILID device and compare cost.
-//   4. Corrupt a return address at run time: the original device is
+//   2. Provision it onto fleet devices under two enforcement policies:
+//      kCasu (original build, CASU invariants only) and kEilidHw (the
+//      three-iteration instrumented build of Fig. 2). The fleet's
+//      build cache runs each pipeline exactly once.
+//   3. Run all four devices and compare cost.
+//   4. Corrupt a return address at run time: the CASU device is
 //      hijacked, the EILID device resets in real time.
 //
 // Build tree: ./build/examples/quickstart
 #include <cstdio>
 
 #include "src/attacks/attack.h"
-#include "src/eilid/device.h"
-#include "src/eilid/pipeline.h"
+#include "src/eilid/fleet.h"
 
 using namespace eilid;
 
@@ -48,11 +49,10 @@ s_wait:
 .end
 )";
 
-void run_device(const char* label, bool eilid, bool attack) {
-  core::BuildOptions options;
-  options.eilid = eilid;
-  core::BuildResult build = core::build_app(kApp, "quickstart", options);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+void run_device(Fleet& fleet, const char* label, const char* device_id,
+                EnforcementPolicy policy, bool attack) {
+  DeviceSession& device = fleet.provision(device_id, kApp, "quickstart",
+                                          policy, {.halt_on_reset = true});
   device.machine().adc().set_channel_series(0, {10, 20, 30, 40, 50, 60, 70, 80});
 
   attacks::AttackEngine engine(device.machine());
@@ -72,32 +72,36 @@ void run_device(const char* label, bool eilid, bool attack) {
 
   auto result = device.run_to_symbol("halt", 100000);
   std::printf("%-28s | %4zu B | %6llu cycles | %zu samples out | %s\n", label,
-              build.binary_size(),
+              device.build().binary_size(),
               static_cast<unsigned long long>(result.cycles),
               device.machine().uart().tx_log().size(),
-              device.machine().violation_count()
-                  ? ("RESET: " + sim::reset_reason_name(
-                                     device.machine().resets().back().reason))
-                        .c_str()
+              device.violation_count()
+                  ? ("RESET: " + device.last_reset_reason()).c_str()
                   : "clean run");
 }
 
 }  // namespace
 
 int main() {
+  Fleet fleet;
   std::printf("EILID quickstart\n");
   std::printf("%-28s | %-6s | %-12s | %-14s | %s\n", "configuration", "size",
               "time", "output", "outcome");
   for (int i = 0; i < 100; ++i) std::putchar('-');
   std::putchar('\n');
-  run_device("original", false, false);
-  run_device("EILID", true, false);
-  run_device("original + ret attack", false, true);
-  run_device("EILID + ret attack", true, true);
+  run_device(fleet, "original", "qs-plain", EnforcementPolicy::kCasu, false);
+  run_device(fleet, "EILID", "qs-eilid", EnforcementPolicy::kEilidHw, false);
+  run_device(fleet, "original + ret attack", "qs-plain-attacked",
+             EnforcementPolicy::kCasu, true);
+  run_device(fleet, "EILID + ret attack", "qs-eilid-attacked",
+             EnforcementPolicy::kEilidHw, true);
   std::printf(
       "\nThe attacked original device silently loses five samples (the "
       "hijacked\nreturn skipped the rest of the loop); the EILID device "
       "catches the corrupt\nreturn address in S_EILID_check_ra and resets "
       "before it is ever used.\n");
+  std::printf("(4 devices provisioned from %zu pipeline runs -- the fleet "
+              "build cache served %zu hits.)\n",
+              fleet.pipeline_runs(), fleet.build_cache_hits());
   return 0;
 }

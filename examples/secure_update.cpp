@@ -1,14 +1,13 @@
 // CASU authenticated software update (the substrate EILID builds on):
 // PMEM is immutable except through MAC'd, version-monotonic update
-// packages. Shows a legitimate update changing device behaviour, a
-// forged package being rejected (device heals by reset), and rollback
-// protection.
+// packages. Shows a legitimate update changing the behaviour of a
+// fleet-provisioned device, a forged package being rejected (device
+// heals by reset), and rollback protection.
 #include <cstdio>
 #include <vector>
 
 #include "src/casu/update.h"
-#include "src/eilid/device.h"
-#include "src/eilid/pipeline.h"
+#include "src/eilid/fleet.h"
 
 using namespace eilid;
 
@@ -39,9 +38,9 @@ std::vector<uint8_t> image_bytes(const masm::MemoryImage& image,
   return out;
 }
 
-char boot_and_read(core::Device& device) {
+char boot_and_read(DeviceSession& device) {
   device.machine().uart().clear_tx();
-  device.machine().cpu().power_on_reset();
+  device.power_cycle();
   device.run_to_symbol("halt", 10000);
   auto tx = device.machine().uart().tx_text();
   return tx.empty() ? '?' : tx[0];
@@ -52,15 +51,16 @@ char boot_and_read(core::Device& device) {
 int main() {
   std::vector<uint8_t> device_key(32, 0x5A);
 
-  core::BuildResult v1 = core::build_app(app_version('1'), "fw");
-  core::Device device(v1);
-  casu::UpdateEngine engine(device_key, device.monitor());
+  Fleet fleet;
+  DeviceSession& device = fleet.provision(
+      "field-unit", app_version('1'), "fw", EnforcementPolicy::kEilidHw);
+  casu::UpdateEngine engine(device_key, *device.hw_monitor());
 
   std::printf("boot v1: device transmits '%c'\n", boot_and_read(device));
 
   // Authority builds firmware v2 and a MAC'd package for it.
-  core::BuildResult v2 = core::build_app(app_version('2'), "fw");
-  auto payload = image_bytes(v2.app.image, 0xE000, 64);
+  auto v2 = fleet.build(app_version('2'), "fw");
+  auto payload = image_bytes(v2->app.image, 0xE000, 64);
   auto pkg = engine.make_package(0xE000, /*version=*/1, payload);
   auto status = engine.apply(device.machine(), pkg);
   std::printf("apply signed v2 package: %s\n",

@@ -975,4 +975,19 @@ const AppSpec& vuln_gateway() {
   return app;
 }
 
+WorkloadOutcome run_workload(DeviceSession& session, const AppSpec& app,
+                             uint64_t cycle_budget) {
+  if (cycle_budget == 0) cycle_budget = 8 * app.cycle_budget;
+  app.setup(session.machine());
+  auto run = session.run_to_symbol("halt", cycle_budget);
+
+  WorkloadOutcome out;
+  out.reached_halt = run.cause == sim::StopCause::kBreakpoint;
+  out.cycles = run.cycles;
+  out.violations = session.violation_count();
+  out.last_reset = session.last_reset_reason();
+  out.check_failure = app.check(session.machine());
+  return out;
+}
+
 }  // namespace eilid::apps

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "eilid/session.h"
 #include "sim/machine.h"
 
 namespace eilid::apps {
@@ -45,6 +46,22 @@ const AppSpec& app_by_name(const std::string& name);
 // The deliberately vulnerable UART gateway used by the attack demos
 // (stack overflow in recv_packet, function pointer in RAM).
 const AppSpec& vuln_gateway();
+
+// --- Fleet-session workload runner ---------------------------------
+// Outcome of running one AppSpec workload on a provisioned session.
+struct WorkloadOutcome {
+  bool reached_halt = false;
+  uint64_t cycles = 0;        // cycles consumed by this run
+  size_t violations = 0;      // enforcement resets observed
+  std::string last_reset;     // "" when the device never enforced
+  std::string check_failure;  // "" when the app's host check passed
+};
+
+// Install the app's stimulus on the session's machine, run to the
+// `halt` label and apply the app's host check. `cycle_budget` of 0
+// uses 8x the spec's budget (room for instrumented builds).
+WorkloadOutcome run_workload(DeviceSession& session, const AppSpec& app,
+                             uint64_t cycle_budget = 0);
 
 }  // namespace eilid::apps
 

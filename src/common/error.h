@@ -58,6 +58,16 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+// Misuse of the Fleet/session facade: duplicate or unknown device ids,
+// a policy/build mismatch (e.g. kEilidHw on an uninstrumented build),
+// attesting a session that carries no attestation monitor. Derives
+// from ConfigError so callers of the deprecated core::Device shim keep
+// catching the type they always did.
+class FleetError : public ConfigError {
+ public:
+  explicit FleetError(const std::string& what) : ConfigError(what) {}
+};
+
 }  // namespace eilid
 
 #endif  // EILID_COMMON_ERROR_H

@@ -1,53 +1,22 @@
 #include "eilid/device.h"
 
-#include "common/error.h"
-
 namespace eilid::core {
 
-EilidHwConfig Device::make_hw_config(const BuildResult& build) {
-  EilidHwConfig cfg;
-  if (build.rom.unit.image.size_bytes() == 0) {
-    cfg.casu.rom_present = false;
-  } else {
-    cfg.casu.rom_present = true;
-    cfg.casu.entry_start = build.rom.entry_start;
-    cfg.casu.entry_end = build.rom.entry_end;
-    cfg.casu.leave_start = build.rom.leave_start;
-    cfg.casu.leave_end = build.rom.leave_end;
-  }
-  return cfg;
-}
-
 Device::Device(const BuildResult& build, DeviceOptions options)
-    : build_(build),
-      machine_(options.clock_hz),
-      monitor_(make_hw_config(build)),
-      eilid_enabled_(build.rom.unit.image.size_bytes() != 0) {
-  machine_.add_monitor(&monitor_);
-  machine_.set_halt_on_reset(options.halt_on_reset);
-
-  for (const auto& chunk : build_.app.image.chunks()) {
-    machine_.load(chunk.base, chunk.data);
-  }
-  if (eilid_enabled_) {
-    for (const auto& chunk : build_.rom.unit.image.chunks()) {
-      machine_.load(chunk.base, chunk.data);
-    }
-  }
-  machine_.power_on();
-}
+    : session_("legacy-device", std::make_shared<const BuildResult>(build),
+               build.rom.unit.image.size_bytes() != 0
+                   ? EnforcementPolicy::kEilidHw
+                   : EnforcementPolicy::kCasu,
+               {.clock_hz = options.clock_hz,
+                .halt_on_reset = options.halt_on_reset}) {}
 
 uint16_t Device::symbol(const std::string& name) const {
-  auto it = build_.app.symbols.find(name);
-  if (it == build_.app.symbols.end()) {
-    throw ConfigError("unknown app symbol: " + name);
-  }
-  return it->second;
+  return session_.symbol(name);
 }
 
 sim::RunResult Device::run_to_symbol(const std::string& name,
                                      uint64_t max_cycles) {
-  return machine_.run_until(symbol(name), max_cycles);
+  return session_.run_to_symbol(name, max_cycles);
 }
 
 }  // namespace eilid::core

@@ -1,9 +1,23 @@
-// Device factory: wires a simulated machine, the EILID/CASU hardware
-// monitor and the built images into a ready-to-run device. This is the
-// main entry point users of the library interact with:
+// DEPRECATED single-device entry point, kept as a thin shim so
+// pre-Fleet code and tests continue to work. New code should use the
+// eilid::Fleet facade, which adds a content-hash build cache, an
+// N-device registry, policy-switched enforcement and a multiplexed
+// attestation verifier:
 //
-//   auto build = core::build_app(source, "app");
-//   core::Device device(build);
+//   #include "eilid/fleet.h"
+//
+//   eilid::Fleet fleet;
+//   auto& dev = fleet.provision("door-7", source, "app",
+//                               eilid::EnforcementPolicy::kEilidHw);
+//   dev.run_to_symbol("halt", 1'000'000);
+//   dev.violation_count();           // enforcement resets observed
+//
+// The legacy shape below maps onto it 1:1 -- Device(build) is a
+// single DeviceSession with policy kEilidHw (instrumented build) or
+// kCasu (plain build):
+//
+//   auto build = core::build_app(source, "app");   // no cache
+//   core::Device device(build);                    // one session
 //   device.machine().run(1'000'000);
 #ifndef EILID_EILID_DEVICE_H
 #define EILID_EILID_DEVICE_H
@@ -12,6 +26,7 @@
 
 #include "eilid/hw_monitor.h"
 #include "eilid/pipeline.h"
+#include "eilid/session.h"
 #include "sim/machine.h"
 
 namespace eilid::core {
@@ -28,10 +43,10 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  sim::Machine& machine() { return machine_; }
-  EilidHwMonitor& monitor() { return monitor_; }
-  const BuildResult& build() const { return build_; }
-  bool eilid_enabled() const { return eilid_enabled_; }
+  sim::Machine& machine() { return session_.machine(); }
+  EilidHwMonitor& monitor() { return *session_.hw_monitor(); }
+  const BuildResult& build() const { return session_.build(); }
+  bool eilid_enabled() const { return session_.eilid_enabled(); }
 
   // Convenience: run until the given app symbol is reached (or the
   // cycle budget runs out). Throws if the symbol is unknown.
@@ -40,12 +55,7 @@ class Device {
   uint16_t symbol(const std::string& name) const;
 
  private:
-  static EilidHwConfig make_hw_config(const BuildResult& build);
-
-  BuildResult build_;
-  sim::Machine machine_;
-  EilidHwMonitor monitor_;
-  bool eilid_enabled_;
+  DeviceSession session_;
 };
 
 }  // namespace eilid::core

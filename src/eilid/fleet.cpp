@@ -1,0 +1,188 @@
+#include "eilid/fleet.h"
+
+#include <algorithm>
+
+#include "cfa/cfg.h"
+#include "common/error.h"
+
+namespace eilid {
+
+// ------------------------------------------------------------------
+// VerifierService
+// ------------------------------------------------------------------
+
+void VerifierService::enroll(DeviceSession& session) {
+  if (session.cfa_monitor() == nullptr) {
+    throw FleetError("verifier: session '" + session.id() +
+                     "' has no CFA monitor (policy " +
+                     std::string(enforcement_policy_name(session.policy())) +
+                     "); only kCfaBaseline devices attest");
+  }
+  auto [it, inserted] = devices_.try_emplace(
+      session.id(),
+      DeviceState{&session,
+                  cfa::CfaVerifier(cfa::extract_cfg(session.build().app),
+                                   session.options().attest_key),
+                  0});
+  if (!inserted) {
+    throw FleetError("verifier: device '" + session.id() +
+                     "' is already enrolled");
+  }
+  (void)it;
+}
+
+VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
+  if (!enrolled(session.id())) enroll(session);
+  DeviceState& state = devices_.at(session.id());
+
+  AttestResult out;
+  out.device_id = session.id();
+  out.attested = true;
+
+  const uint64_t nonce = nonce_counter_++;
+  cfa::Report report =
+      session.cfa_monitor()->take_report(nonce, session.machine().cycles());
+  out.seq = report.seq;
+  out.cycle = report.cycle;
+  out.edges = report.edges.size();
+  out.dropped = report.dropped;
+  out.seq_ok = report.seq == state.expected_seq;
+  state.expected_seq = report.seq + 1;
+
+  cfa::CfaVerifier::Result v = state.verifier.verify(report, nonce);
+  out.mac_ok = v.mac_ok;
+  out.path_ok = v.path_ok;
+  out.first_bad = v.first_bad;
+  return out;
+}
+
+std::vector<VerifierService::AttestResult> VerifierService::verify_all() {
+  std::vector<AttestResult> out;
+  out.reserve(devices_.size());
+  for (auto& [id, state] : devices_) {
+    (void)id;
+    out.push_back(attest(*state.session));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------
+// Fleet
+// ------------------------------------------------------------------
+
+namespace {
+
+// Content hash of everything that determines a BuildResult. Two
+// provisioning calls with the same source and build shape share one
+// pipeline run through this key.
+crypto::Digest build_key(const std::string& source, const std::string& name,
+                         const core::BuildOptions& o) {
+  const core::RomConfig& rom =
+      o.prebuilt_rom != nullptr ? o.prebuilt_rom->config : o.rom;
+  const core::InstrumentConfig& in = o.instrument;
+  std::string meta = "eilid-build-v1|" + name + "|";
+  auto flag = [&meta](bool b) { meta += b ? '1' : '0'; };
+  auto num = [&meta](uint64_t v) { meta += std::to_string(v) + ","; };
+  flag(o.eilid);
+  flag(o.verify_convergence);
+  flag(o.prebuilt_rom != nullptr);
+  flag(in.backward_edge);
+  flag(in.interrupt_edge);
+  flag(in.forward_edge);
+  flag(in.lock_table);
+  flag(in.label_mode);
+  flag(in.spill_reserved);
+  num(static_cast<uint64_t>(in.table_policy));
+  num(rom.secure_base);
+  num(rom.secure_size);
+  num(rom.table_capacity);
+  num(rom.shadow_capacity);
+  flag(rom.memory_backed_index);
+  meta += '|';
+
+  crypto::Sha256 h;
+  h.update(meta);
+  h.update(source);
+  return h.finish();
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {}
+
+std::shared_ptr<const core::BuildResult> Fleet::build(
+    const std::string& source, const std::string& name,
+    const core::BuildOptions& options) {
+  const crypto::Digest key = build_key(source, name, options);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++pipeline_runs_;
+  auto result = std::make_shared<const core::BuildResult>(
+      core::build_app(source, name, options));
+  cache_.emplace(key, result);
+  return result;
+}
+
+crypto::Digest Fleet::device_key(const std::string& device_id) const {
+  return crypto::derive_key(
+      std::span<const uint8_t>(options_.master_key.data(),
+                               options_.master_key.size()),
+      "attest:" + device_id);
+}
+
+DeviceSession& Fleet::deploy(const std::string& device_id,
+                             std::shared_ptr<const core::BuildResult> build,
+                             EnforcementPolicy policy, SessionOptions options) {
+  if (by_id_.count(device_id) != 0) {
+    throw FleetError("fleet: device id '" + device_id + "' already deployed");
+  }
+  options.attest_key = device_key(device_id);
+  auto session = std::make_unique<DeviceSession>(device_id, std::move(build),
+                                                 policy, options);
+  DeviceSession& ref = *session;
+  // Enroll before registering: if the verifier rejects the device the
+  // fleet must not be left holding a session whose deploy failed.
+  if (policy == EnforcementPolicy::kCfaBaseline) verifier_.enroll(ref);
+  sessions_.push_back(std::move(session));
+  by_id_.emplace(device_id, &ref);
+  return ref;
+}
+
+DeviceSession& Fleet::provision(const std::string& device_id,
+                                const std::string& source,
+                                const std::string& name,
+                                EnforcementPolicy policy,
+                                SessionOptions options) {
+  core::BuildOptions build_options;
+  build_options.eilid = policy == EnforcementPolicy::kEilidHw;
+  return deploy(device_id, build(source, name, build_options), policy, options);
+}
+
+DeviceSession* Fleet::find(const std::string& device_id) {
+  auto it = by_id_.find(device_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+DeviceSession& Fleet::at(const std::string& device_id) {
+  DeviceSession* session = find(device_id);
+  if (session == nullptr) {
+    throw FleetError("fleet: unknown device id '" + device_id + "'");
+  }
+  return *session;
+}
+
+void Fleet::decommission(const std::string& device_id) {
+  DeviceSession& session = at(device_id);
+  verifier_.withdraw(device_id);
+  by_id_.erase(device_id);
+  sessions_.erase(
+      std::find_if(sessions_.begin(), sessions_.end(),
+                   [&session](const std::unique_ptr<DeviceSession>& s) {
+                     return s.get() == &session;
+                   }));
+}
+
+}  // namespace eilid

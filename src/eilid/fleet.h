@@ -1,0 +1,154 @@
+// The public API of the library: a Fleet owns everything needed to
+// operate many simulated devices as one session --
+//
+//   - a content-hash-keyed build cache: identical (source, options)
+//     pairs run the three-iteration pipeline exactly once and share
+//     one immutable BuildResult across every device flashed with it,
+//   - a device registry provisioning N DeviceSessions from cached
+//     builds, each wired per its EnforcementPolicy,
+//   - a VerifierService multiplexing attestation across sessions with
+//     per-device keys, nonces and replay state, plus a batched
+//     verify_all() sweep.
+//
+//   eilid::Fleet fleet;
+//   auto& dev = fleet.provision("door-7", source, "gateway",
+//                               eilid::EnforcementPolicy::kEilidHw);
+//   dev.run_to_symbol("halt", 200000);
+//   if (dev.violation_count() > 0) { /* hijack prevented in real time */ }
+//
+// The legacy single-device entry points (core::build_app + core::Device)
+// remain as deprecated shims over this layer.
+#ifndef EILID_EILID_FLEET_H
+#define EILID_EILID_FLEET_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "eilid/session.h"
+
+namespace eilid {
+
+// Verifier half of the CFA baseline, fleet-wide: one instance tracks
+// every enrolled device's MAC key, challenge nonce and stateful path
+// replay *independently*, so one device's compromise (or power cycle)
+// never perturbs another's attestation history.
+class VerifierService {
+ public:
+  struct AttestResult {
+    std::string device_id;
+    bool attested = false;  // false: session has no CFA monitor
+    uint32_t seq = 0;
+    uint64_t cycle = 0;     // device cycle at report emission
+    bool mac_ok = false;
+    bool seq_ok = false;   // report sequence number was the expected one
+    bool path_ok = false;  // replayed log stayed inside the CFG
+    size_t edges = 0;
+    uint32_t dropped = 0;  // evidence lost to on-device log overflow
+    std::optional<cfa::LoggedEdge> first_bad;
+
+    bool ok() const { return attested && mac_ok && seq_ok && path_ok; }
+  };
+
+  // Register a session for attestation: extracts the CFG from its
+  // build and initialises fresh per-device replay state. Throws
+  // eilid::FleetError when the session has no CFA monitor. attest()
+  // enrolls on first contact automatically. The service keeps a
+  // reference for verify_all(): an enrolled session must outlive the
+  // service or be withdraw()n first (Fleet::decommission does this
+  // for fleet-owned sessions).
+  void enroll(DeviceSession& session);
+  bool enrolled(const std::string& device_id) const {
+    return devices_.count(device_id) != 0;
+  }
+
+  // Challenge one device now: fresh nonce, drain its log, check MAC +
+  // sequence + path. Replay state persists across calls.
+  AttestResult attest(DeviceSession& session);
+
+  // Batched sweep over every enrolled device, in enrollment-id order.
+  std::vector<AttestResult> verify_all();
+
+  // Forget a device (its session is going away).
+  void withdraw(const std::string& device_id) { devices_.erase(device_id); }
+
+ private:
+  struct DeviceState {
+    DeviceSession* session = nullptr;
+    cfa::CfaVerifier verifier;
+    uint32_t expected_seq = 0;
+  };
+
+  std::map<std::string, DeviceState> devices_;
+  uint64_t nonce_counter_ = 1;
+};
+
+struct FleetOptions {
+  // Master key provisioned at manufacture; per-device attestation keys
+  // are derived as HMAC(master, "attest:" + device_id).
+  std::vector<uint8_t> master_key = std::vector<uint8_t>(32, 0x5A);
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options = {});
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // --- build cache -------------------------------------------------
+  // Build (or fetch) the app for (source, name, options). The result
+  // is immutable and shared by every session deployed from it.
+  std::shared_ptr<const core::BuildResult> build(
+      const std::string& source, const std::string& name,
+      const core::BuildOptions& options = {});
+
+  size_t pipeline_runs() const { return pipeline_runs_; }
+  size_t build_cache_hits() const { return cache_hits_; }
+  size_t build_cache_size() const { return cache_.size(); }
+
+  // --- device registry ---------------------------------------------
+  // Flash a cached build onto a new device. Throws eilid::FleetError
+  // on a duplicate id or a policy/build mismatch. kCfaBaseline
+  // sessions are auto-enrolled with the verifier.
+  DeviceSession& deploy(const std::string& device_id,
+                        std::shared_ptr<const core::BuildResult> build,
+                        EnforcementPolicy policy, SessionOptions options = {});
+
+  // Convenience: build (cached) + deploy. BuildOptions are derived
+  // from the policy: only kEilidHw instruments.
+  DeviceSession& provision(const std::string& device_id,
+                           const std::string& source, const std::string& name,
+                           EnforcementPolicy policy,
+                           SessionOptions options = {});
+
+  DeviceSession* find(const std::string& device_id);
+  DeviceSession& at(const std::string& device_id);  // throws FleetError
+  void decommission(const std::string& device_id);
+  size_t size() const { return by_id_.size(); }
+  // Registry iteration, in deployment order.
+  const std::vector<std::unique_ptr<DeviceSession>>& sessions() const {
+    return sessions_;
+  }
+
+  VerifierService& verifier() { return verifier_; }
+
+  // The key a given device MACs its attestation reports with.
+  crypto::Digest device_key(const std::string& device_id) const;
+
+ private:
+  FleetOptions options_;
+  std::map<crypto::Digest, std::shared_ptr<const core::BuildResult>> cache_;
+  size_t cache_hits_ = 0;
+  size_t pipeline_runs_ = 0;
+  std::vector<std::unique_ptr<DeviceSession>> sessions_;
+  std::map<std::string, DeviceSession*> by_id_;
+  VerifierService verifier_;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_FLEET_H

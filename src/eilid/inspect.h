@@ -9,24 +9,27 @@
 
 #include "eilid/config.h"
 #include "eilid/device.h"
+#include "eilid/session.h"
 
 namespace eilid::core {
 
 class ShadowInspector {
  public:
   explicit ShadowInspector(Device& device)
-      : device_(device), cfg_(device.build().rom.config) {}
+      : machine_(device.machine()), cfg_(device.build().rom.config) {}
+  explicit ShadowInspector(DeviceSession& session)
+      : machine_(session.machine()), cfg_(session.build().rom.config) {}
 
   // Number of live shadow entries (r5, or the memory-backed index).
   uint16_t depth() const {
     if (cfg_.memory_backed_index) {
-      return device_.machine().bus().raw_word(cfg_.idx_addr());
+      return machine_.bus().raw_word(cfg_.idx_addr());
     }
-    return device_.machine().cpu().reg(kIndexReg);
+    return machine_.cpu().reg(kIndexReg);
   }
 
   uint16_t entry(uint16_t i) const {
-    return device_.machine().bus().raw_word(
+    return machine_.bus().raw_word(
         static_cast<uint16_t>(cfg_.shadow_base_addr() + 2 * i));
   }
 
@@ -37,18 +40,18 @@ class ShadowInspector {
   }
 
   uint16_t table_count() const {
-    return device_.machine().bus().raw_word(cfg_.tbl_count_addr());
+    return machine_.bus().raw_word(cfg_.tbl_count_addr());
   }
   bool table_locked() const {
-    return device_.machine().bus().raw_word(cfg_.tbl_lock_addr()) != 0;
+    return machine_.bus().raw_word(cfg_.tbl_lock_addr()) != 0;
   }
   uint16_t table_entry(uint16_t i) const {
-    return device_.machine().bus().raw_word(
+    return machine_.bus().raw_word(
         static_cast<uint16_t>(cfg_.tbl_base_addr() + 2 * i));
   }
 
  private:
-  Device& device_;
+  sim::Machine& machine_;
   RomConfig cfg_;
 };
 

@@ -1,0 +1,119 @@
+#include "eilid/session.h"
+
+#include "common/error.h"
+
+namespace eilid {
+
+std::string_view enforcement_policy_name(EnforcementPolicy policy) {
+  switch (policy) {
+    case EnforcementPolicy::kNone: return "none";
+    case EnforcementPolicy::kCasu: return "casu";
+    case EnforcementPolicy::kCfaBaseline: return "cfa-baseline";
+    case EnforcementPolicy::kEilidHw: return "eilid-hw";
+  }
+  return "?";
+}
+
+namespace {
+
+core::EilidHwConfig hw_config_for(const core::BuildResult& build) {
+  core::EilidHwConfig cfg;
+  if (build.rom.unit.image.size_bytes() == 0) {
+    cfg.casu.rom_present = false;
+  } else {
+    cfg.casu.rom_present = true;
+    cfg.casu.entry_start = build.rom.entry_start;
+    cfg.casu.entry_end = build.rom.entry_end;
+    cfg.casu.leave_start = build.rom.leave_start;
+    cfg.casu.leave_end = build.rom.leave_end;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+DeviceSession::DeviceSession(std::string device_id,
+                             std::shared_ptr<const core::BuildResult> build,
+                             EnforcementPolicy policy, SessionOptions options)
+    : id_(std::move(device_id)),
+      build_(std::move(build)),
+      policy_(policy),
+      options_(options),
+      machine_(options.clock_hz) {
+  if (!build_) {
+    throw FleetError("session '" + id_ + "': null build");
+  }
+  const bool rom_in_build = build_->rom.unit.image.size_bytes() != 0;
+  if (policy_ == EnforcementPolicy::kEilidHw && !rom_in_build) {
+    throw FleetError("session '" + id_ +
+                     "': kEilidHw needs an instrumented build (EILIDsw "
+                     "missing; build with BuildOptions.eilid = true)");
+  }
+
+  switch (policy_) {
+    case EnforcementPolicy::kNone:
+      break;
+    case EnforcementPolicy::kCasu:
+    case EnforcementPolicy::kCfaBaseline:
+    case EnforcementPolicy::kEilidHw: {
+      hw_monitor_ =
+          std::make_unique<core::EilidHwMonitor>(hw_config_for(*build_));
+      machine_.add_monitor(hw_monitor_.get());
+      break;
+    }
+  }
+  if (policy_ == EnforcementPolicy::kCfaBaseline) {
+    cfa_monitor_ = std::make_unique<cfa::CfaMonitor>(
+        machine_.bus(), options_.attest_key, options_.cfa);
+    machine_.add_monitor(cfa_monitor_.get());
+  }
+  machine_.set_halt_on_reset(options_.halt_on_reset);
+
+  for (const auto& chunk : build_->app.image.chunks()) {
+    machine_.load(chunk.base, chunk.data);
+  }
+  if (rom_in_build) {
+    for (const auto& chunk : build_->rom.unit.image.chunks()) {
+      machine_.load(chunk.base, chunk.data);
+    }
+  }
+  machine_.power_on();
+}
+
+uint16_t DeviceSession::symbol(const std::string& name) const {
+  auto it = build_->app.symbols.find(name);
+  if (it == build_->app.symbols.end()) {
+    throw FleetError("session '" + id_ + "': unknown app symbol: " + name);
+  }
+  return it->second;
+}
+
+sim::RunResult DeviceSession::run_to_symbol(const std::string& name,
+                                            uint64_t max_cycles) {
+  return machine_.run_until(symbol(name), max_cycles);
+}
+
+std::string DeviceSession::last_reset_reason() const {
+  if (machine_.violation_count() == 0) return "";
+  return sim::reset_reason_name(machine_.resets().back().reason);
+}
+
+void DeviceSession::power_cycle() {
+  // Mirrors Machine::do_reset minus the ResetEvent record: recording
+  // one would count a host-driven power cycle as an enforcement
+  // violation in violation_count().
+  machine_.bus().wipe_volatile();
+  machine_.bus().reset_peripherals();
+  machine_.bus().clear_access_denied();
+  if (hw_monitor_ != nullptr) {
+    hw_monitor_->clear_violation();
+    hw_monitor_->on_device_reset();
+  }
+  if (cfa_monitor_ != nullptr) {
+    cfa_monitor_->clear_violation();
+    cfa_monitor_->on_device_reset();
+  }
+  machine_.cpu().power_on_reset();
+}
+
+}  // namespace eilid

@@ -1,0 +1,102 @@
+// One provisioned simulated device: a machine wired with the monitor
+// stack its enforcement policy demands, running one cached build. A
+// DeviceSession is what `eilid::Fleet` hands out; it unifies the
+// previously ad-hoc wiring of EilidHwMonitor (EILID), CasuMonitor
+// (CASU-only baseline) and CfaMonitor (attestation baseline) behind a
+// single policy switch, so examples/benches/tests compare devices by
+// changing one enum instead of re-plumbing monitors.
+#ifndef EILID_EILID_SESSION_H
+#define EILID_EILID_SESSION_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cfa/attestation.h"
+#include "crypto/sha256.h"
+#include "eilid/hw_monitor.h"
+#include "eilid/pipeline.h"
+#include "sim/machine.h"
+
+namespace eilid {
+
+// What hardware (if any) polices the device, §II-C's comparison axis:
+// EILID *prevents* hijacks in real time; a CFA baseline merely logs
+// them for the verifier to *detect* at the next attestation.
+enum class EnforcementPolicy : uint8_t {
+  kNone,         // bare machine, no monitors: fully unprotected
+  kCasu,         // CASU invariants only (PMEM immutability, W^X, ROM gates)
+  kCfaBaseline,  // CASU + LO-FAT/ACFA-style logging monitor + verifier
+  kEilidHw,      // CASU + secure-DMEM extension + EILIDsw (needs an
+                 // instrumented build)
+};
+
+std::string_view enforcement_policy_name(EnforcementPolicy policy);
+
+struct SessionOptions {
+  double clock_hz = 8e6;
+  bool halt_on_reset = false;  // stop run() at the first enforcement reset
+  cfa::CfaConfig cfa;          // kCfaBaseline: on-device log sizing
+  // Per-device attestation MAC key. Fleet derives it from its master
+  // key; standalone sessions may set it directly.
+  crypto::Digest attest_key{};
+};
+
+class DeviceSession {
+ public:
+  // Throws eilid::FleetError when the policy and build disagree
+  // (kEilidHw without EILIDsw in the build).
+  DeviceSession(std::string device_id,
+                std::shared_ptr<const core::BuildResult> build,
+                EnforcementPolicy policy, SessionOptions options = {});
+
+  DeviceSession(const DeviceSession&) = delete;
+  DeviceSession& operator=(const DeviceSession&) = delete;
+
+  const std::string& id() const { return id_; }
+  EnforcementPolicy policy() const { return policy_; }
+  const SessionOptions& options() const { return options_; }
+  const core::BuildResult& build() const { return *build_; }
+  std::shared_ptr<const core::BuildResult> shared_build() const {
+    return build_;
+  }
+  sim::Machine& machine() { return machine_; }
+
+  // Monitors installed by the policy; null when absent (kNone has
+  // neither, only kCfaBaseline has a CFA monitor).
+  core::EilidHwMonitor* hw_monitor() { return hw_monitor_.get(); }
+  cfa::CfaMonitor* cfa_monitor() { return cfa_monitor_.get(); }
+
+  bool eilid_enabled() const { return policy_ == EnforcementPolicy::kEilidHw; }
+
+  // Throws eilid::FleetError if the symbol is unknown.
+  uint16_t symbol(const std::string& name) const;
+
+  sim::RunResult run(uint64_t max_cycles) { return machine_.run(max_cycles); }
+  sim::RunResult run_to_symbol(const std::string& name, uint64_t max_cycles);
+
+  // Enforcement outcome shorthand.
+  size_t violation_count() const { return machine_.violation_count(); }
+  // Name of the most recent enforcement reset ("" when the device never
+  // enforced).
+  std::string last_reset_reason() const;
+
+  // Power-cycle the device: volatile state and monitor latches clear
+  // (an enforcement reset); the CFA log deliberately survives with a
+  // reset marker (ACFA keeps evidence in attested memory), and the
+  // verifier's replay state is untouched -- it lives off-device.
+  void power_cycle();
+
+ private:
+  std::string id_;
+  std::shared_ptr<const core::BuildResult> build_;
+  EnforcementPolicy policy_;
+  SessionOptions options_;
+  sim::Machine machine_;
+  std::unique_ptr<core::EilidHwMonitor> hw_monitor_;
+  std::unique_ptr<cfa::CfaMonitor> cfa_monitor_;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_SESSION_H

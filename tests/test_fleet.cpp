@@ -1,0 +1,266 @@
+// The Fleet facade: build-cache identity, N-device provisioning,
+// policy-switched enforcement, and VerifierService state isolation
+// between sessions that share one cached build.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "attacks/attack.h"
+#include "common/error.h"
+#include "eilid/fleet.h"
+
+namespace eilid {
+namespace {
+
+const char* kTinyApp = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #emit
+    call #emit
+halt:
+    jmp halt
+emit:
+    mov.b #'x', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+
+// ---------------------------------------------------------------- cache
+
+TEST(FleetBuildCache, SameSourceBuildsOnce) {
+  Fleet fleet;
+  auto a = fleet.build(kTinyApp, "tiny");
+  auto b = fleet.build(kTinyApp, "tiny");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 1u);
+  EXPECT_EQ(fleet.build_cache_hits(), 1u);
+  EXPECT_EQ(fleet.build_cache_size(), 1u);
+}
+
+TEST(FleetBuildCache, DistinctOptionsBuildSeparately) {
+  Fleet fleet;
+  auto instrumented = fleet.build(kTinyApp, "tiny");
+  auto plain = fleet.build(kTinyApp, "tiny", {.eilid = false});
+  EXPECT_NE(instrumented.get(), plain.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+  EXPECT_EQ(fleet.build_cache_hits(), 0u);
+
+  core::BuildOptions label_mode;
+  label_mode.instrument.label_mode = true;
+  auto labeled = fleet.build(kTinyApp, "tiny", label_mode);
+  EXPECT_NE(labeled.get(), instrumented.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 3u);
+}
+
+TEST(FleetBuildCache, DistinctSourcesBuildSeparately) {
+  Fleet fleet;
+  auto a = fleet.build(kTinyApp, "tiny");
+  std::string other = kTinyApp;
+  other.insert(other.find("mov.b #'x'"), "nop\n    ");
+  auto b = fleet.build(other, "tiny");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(FleetRegistry, ProvisionManyFromOnePipelineRun) {
+  Fleet fleet;
+  for (int i = 0; i < 8; ++i) {
+    DeviceSession& dev =
+        fleet.provision("node-" + std::to_string(i), kTinyApp, "tiny",
+                        EnforcementPolicy::kEilidHw);
+    auto run = dev.run_to_symbol("halt", 100000);
+    EXPECT_EQ(run.cause, sim::StopCause::kBreakpoint);
+    EXPECT_EQ(dev.violation_count(), 0u);
+    EXPECT_EQ(dev.machine().uart().tx_text(), "xx");
+  }
+  EXPECT_EQ(fleet.size(), 8u);
+  EXPECT_EQ(fleet.pipeline_runs(), 1u);
+  EXPECT_EQ(fleet.build_cache_hits(), 7u);
+  // All sessions share the identical immutable build.
+  EXPECT_EQ(fleet.at("node-0").shared_build().get(),
+            fleet.at("node-7").shared_build().get());
+}
+
+TEST(FleetRegistry, DuplicateIdThrowsTyped) {
+  Fleet fleet;
+  fleet.provision("dup", kTinyApp, "tiny", EnforcementPolicy::kCasu);
+  EXPECT_THROW(
+      fleet.provision("dup", kTinyApp, "tiny", EnforcementPolicy::kCasu),
+      FleetError);
+}
+
+TEST(FleetRegistry, UnknownIdAndDecommission) {
+  Fleet fleet;
+  EXPECT_EQ(fleet.find("ghost"), nullptr);
+  EXPECT_THROW(fleet.at("ghost"), FleetError);
+  fleet.provision("gone", kTinyApp, "tiny", EnforcementPolicy::kCfaBaseline);
+  EXPECT_TRUE(fleet.verifier().enrolled("gone"));
+  fleet.decommission("gone");
+  EXPECT_EQ(fleet.size(), 0u);
+  EXPECT_FALSE(fleet.verifier().enrolled("gone"));
+}
+
+TEST(FleetRegistry, EilidPolicyRejectsPlainBuild) {
+  Fleet fleet;
+  auto plain = fleet.build(kTinyApp, "tiny", {.eilid = false});
+  EXPECT_THROW(fleet.deploy("mismatch", plain, EnforcementPolicy::kEilidHw),
+               FleetError);
+  // FleetError stays catchable through the legacy hierarchy.
+  EXPECT_THROW(fleet.deploy("mismatch", plain, EnforcementPolicy::kEilidHw),
+               ConfigError);
+}
+
+TEST(FleetRegistry, UnknownSymbolThrowsTyped) {
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision("sym", kTinyApp, "tiny", EnforcementPolicy::kCasu);
+  EXPECT_THROW(dev.symbol("nonexistent"), FleetError);
+}
+
+// ------------------------------------------------------ policy behavior
+
+// The same stack-smash exploit lands differently per policy: kNone and
+// kCasu devices are hijacked, the kCfaBaseline device is hijacked but
+// convicted at the next attestation, the kEilidHw device resets before
+// the hijacked return is ever used.
+TEST(FleetPolicies, HijackOutcomePerPolicy) {
+  const auto& app = apps::vuln_gateway();
+  Fleet fleet;
+
+  auto hijack = [&](DeviceSession& dev) {
+    dev.machine().uart().feed(
+        attacks::overflow_ret_payload(dev.symbol("unlock")));
+    dev.run_to_symbol("halt", app.cycle_budget);
+    return dev.machine().uart().tx_text().find('U') != std::string::npos;
+  };
+
+  DeviceSession& none = fleet.provision("gw-none", app.source, app.name,
+                                        EnforcementPolicy::kNone);
+  EXPECT_EQ(none.hw_monitor(), nullptr);
+  EXPECT_EQ(none.cfa_monitor(), nullptr);
+  EXPECT_TRUE(hijack(none));
+
+  DeviceSession& casu = fleet.provision("gw-casu", app.source, app.name,
+                                        EnforcementPolicy::kCasu);
+  EXPECT_NE(casu.hw_monitor(), nullptr);
+  EXPECT_TRUE(hijack(casu));  // code reuse defeats CASU alone
+
+  DeviceSession& cfa =
+      fleet.provision("gw-cfa", app.source, app.name,
+                      EnforcementPolicy::kCfaBaseline,
+                      {.cfa = {.log_capacity = 8192}});
+  ASSERT_NE(cfa.cfa_monitor(), nullptr);
+  EXPECT_TRUE(hijack(cfa));  // detection is not prevention...
+  auto verdict = fleet.verifier().attest(cfa);
+  EXPECT_TRUE(verdict.mac_ok);
+  EXPECT_TRUE(verdict.seq_ok);
+  EXPECT_FALSE(verdict.path_ok);  // ...but the verifier convicts the log
+  ASSERT_TRUE(verdict.first_bad.has_value());
+  EXPECT_EQ(verdict.first_bad->to, cfa.symbol("unlock"));
+
+  DeviceSession& eilid =
+      fleet.provision("gw-eilid", app.source, app.name,
+                      EnforcementPolicy::kEilidHw, {.halt_on_reset = true});
+  EXPECT_FALSE(hijack(eilid));
+  EXPECT_GT(eilid.violation_count(), 0u);
+  EXPECT_EQ(eilid.last_reset_reason(), "cfi-return-mismatch");
+
+  // Both plain-policy devices shared one build; EILID built once more.
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+}
+
+TEST(FleetPolicies, AttestingNonCfaSessionThrows) {
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision("plain", kTinyApp, "tiny", EnforcementPolicy::kCasu);
+  EXPECT_THROW(fleet.verifier().attest(dev), FleetError);
+}
+
+// ----------------------------------------------------- verifier service
+
+// Two sessions share one cached build but enforce independently: a
+// hijack on (and power cycle of) one device must not perturb the
+// other's attestation replay state or sequence numbers.
+TEST(VerifierServiceTest, ReplayStateIsolatedBetweenSessions) {
+  const auto& app = apps::vuln_gateway();
+  Fleet fleet;
+  // halt_on_reset keeps the victim parked at its post-hijack reset, so
+  // its log holds the hijack evidence rather than thousands of
+  // post-reboot polling edges.
+  SessionOptions big_log{.halt_on_reset = true,
+                         .cfa = {.log_capacity = 8192}};
+  DeviceSession& victim = fleet.provision(
+      "victim", app.source, app.name, EnforcementPolicy::kCfaBaseline, big_log);
+  DeviceSession& healthy = fleet.provision(
+      "healthy", app.source, app.name, EnforcementPolicy::kCfaBaseline,
+      big_log);
+  ASSERT_EQ(victim.shared_build().get(), healthy.shared_build().get());
+
+  // Distinct devices MAC with distinct derived keys.
+  EXPECT_NE(fleet.device_key("victim"), fleet.device_key("healthy"));
+
+  victim.machine().uart().feed(
+      attacks::overflow_ret_payload(victim.symbol("unlock")));
+  healthy.machine().uart().feed(attacks::benign_payload());
+
+  victim.run_to_symbol("halt", app.cycle_budget);
+  healthy.run_to_symbol("halt", app.cycle_budget);
+
+  auto round1 = fleet.verifier().verify_all();
+  ASSERT_EQ(round1.size(), 2u);
+  for (const auto& r : round1) {
+    EXPECT_TRUE(r.mac_ok) << r.device_id;
+    EXPECT_TRUE(r.seq_ok) << r.device_id;
+    if (r.device_id == "victim") {
+      EXPECT_FALSE(r.path_ok);
+    } else {
+      EXPECT_TRUE(r.path_ok) << r.device_id;
+    }
+  }
+
+  // Enforcement reset on the victim: power-cycle it and run it clean.
+  victim.machine().uart().clear_tx();
+  victim.power_cycle();
+  victim.machine().uart().feed(attacks::benign_payload());
+  victim.run_to_symbol("halt", app.cycle_budget);
+  healthy.run(5000);
+
+  // The healthy device's replay continues mid-stream with the next
+  // sequence number; the victim's restart is accepted because its log
+  // carries the reset marker.
+  auto round2 = fleet.verifier().verify_all();
+  for (const auto& r : round2) {
+    EXPECT_TRUE(r.mac_ok) << r.device_id;
+    EXPECT_TRUE(r.seq_ok) << r.device_id;
+    EXPECT_TRUE(r.path_ok) << r.device_id;
+    EXPECT_EQ(r.seq, 1u) << r.device_id;
+  }
+}
+
+// A report replayed to the verifier out of sequence is flagged even
+// though its MAC is genuine.
+TEST(VerifierServiceTest, SequenceGapFlagged) {
+  const auto& app = apps::vuln_gateway();
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision("seq", app.source, app.name,
+                      EnforcementPolicy::kCfaBaseline,
+                      {.cfa = {.log_capacity = 8192}});
+  dev.machine().uart().feed(attacks::benign_payload());
+  dev.run(20000);
+
+  // A report the verifier never sees: the device emitted it (seq 0),
+  // but it was lost in transit.
+  (void)dev.cfa_monitor()->take_report(/*nonce=*/999,
+                                       dev.machine().cycles());
+  dev.run(20000);
+  auto verdict = fleet.verifier().attest(dev);
+  EXPECT_TRUE(verdict.mac_ok);
+  EXPECT_FALSE(verdict.seq_ok);  // seq 1 arrived where 0 was expected
+}
+
+}  // namespace
+}  // namespace eilid
