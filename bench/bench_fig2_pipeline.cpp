@@ -17,8 +17,9 @@ int main() {
   std::printf("%-18s | %10s %10s | %10s %10s | %10s %10s |\n", "", "lines",
               "bytes", "lines", "bytes", "lines", "bytes");
   print_rule(110);
+  Fleet fleet;  // each app is a distinct content hash: 7 pipeline runs
   for (const auto& app : apps::table4_apps()) {
-    core::BuildResult build = core::build_app(app.source, app.name);
+    const core::BuildResult& build = *fleet.build(app.source, app.name);
     if (build.iterations.size() != 3) {
       std::printf("%-18s | unexpected iteration count %zu\n", app.name.c_str(),
                   build.iterations.size());

@@ -7,10 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "src/apps/apps.h"
-#include "src/eilid/device.h"
-#include "src/eilid/pipeline.h"
+#include "src/eilid/fleet.h"
 
 using namespace eilid;
 
@@ -56,7 +56,11 @@ void measure() {
   core::BuildResult build;
   build.rom = rom;
   build.app = masm::assemble_text(micro_source(rom), "micro");
-  core::Device device(build);
+  // A hand-assembled build (the stubs are called directly, nothing to
+  // instrument), flashed onto a standalone full-EILID session.
+  DeviceSession device("micro", std::make_shared<const core::BuildResult>(
+                                    std::move(build)),
+                       EnforcementPolicy::kEilidHw);
 
   auto run_to = [&](const char* sym) {
     auto r = device.run_to_symbol(sym, 100000);
@@ -110,6 +114,9 @@ void measure() {
       "  instructions); ratios match -- absolute us depend on the clock.\n\n");
 }
 
+// A fresh Fleet per iteration keeps the content-hash cache cold, so
+// this measures the full three-iteration pipeline through the public
+// facade (Fleet construction itself is negligible).
 void BM_BuildPipelineEilid(benchmark::State& state) {
   static const core::RomInfo rom = core::build_rom();
   const auto& app = apps::table4_apps()[0];
@@ -117,7 +124,8 @@ void BM_BuildPipelineEilid(benchmark::State& state) {
   options.prebuilt_rom = &rom;
   options.verify_convergence = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::build_app(app.source, app.name, options));
+    Fleet fleet;
+    benchmark::DoNotOptimize(fleet.build(app.source, app.name, options));
   }
 }
 BENCHMARK(BM_BuildPipelineEilid);
@@ -127,16 +135,20 @@ void BM_BuildPipelineOriginal(benchmark::State& state) {
   core::BuildOptions options;
   options.eilid = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::build_app(app.source, app.name, options));
+    Fleet fleet;
+    benchmark::DoNotOptimize(fleet.build(app.source, app.name, options));
   }
 }
 BENCHMARK(BM_BuildPipelineOriginal);
 
+// One cached build, a fresh session per iteration: flash + power-on +
+// run-to-halt is the measured cost (the fleet path devices take).
 void BM_SimulateLightSensor(benchmark::State& state) {
   const auto& app = apps::app_by_name("light_sensor");
-  core::BuildResult build = core::build_app(app.source, app.name);
+  Fleet fleet;
+  auto build = fleet.build(app.source, app.name);
   for (auto _ : state) {
-    core::Device device(build);
+    DeviceSession device("bench", build, EnforcementPolicy::kEilidHw);
     app.setup(device.machine());
     auto r = device.run_to_symbol("halt", 8 * app.cycle_budget);
     benchmark::DoNotOptimize(r);

@@ -990,4 +990,15 @@ WorkloadOutcome run_workload(DeviceSession& session, const AppSpec& app,
   return out;
 }
 
+std::vector<WorkloadOutcome> run_workload_all(
+    const std::vector<FleetWorkload>& items, common::ThreadPool& pool) {
+  std::vector<WorkloadOutcome> outcomes(items.size());
+  pool.parallel_for(items.size(), [&](size_t i) {
+    const FleetWorkload& item = items[i];
+    std::lock_guard<std::mutex> lock(item.session->mutex());
+    outcomes[i] = run_workload(*item.session, *item.app, item.cycle_budget);
+  });
+  return outcomes;
+}
+
 }  // namespace eilid::apps

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "eilid/session.h"
 #include "sim/machine.h"
 
@@ -62,6 +63,21 @@ struct WorkloadOutcome {
 // uses 8x the spec's budget (room for instrumented builds).
 WorkloadOutcome run_workload(DeviceSession& session, const AppSpec& app,
                              uint64_t cycle_budget = 0);
+
+// One unit of fleet-wide work: run `app` on `session`.
+struct FleetWorkload {
+  DeviceSession* session = nullptr;
+  const AppSpec* app = nullptr;
+  uint64_t cycle_budget = 0;  // 0: 8x the spec's budget
+};
+
+// Drive a whole fleet concurrently: every item's workload runs on the
+// pool (sessions must be distinct), each session locked via
+// DeviceSession::mutex() for the duration so a concurrent attestation
+// sweep never observes a device mid-run. Outcomes are returned in
+// input order; the first exception any workload throws is rethrown.
+std::vector<WorkloadOutcome> run_workload_all(
+    const std::vector<FleetWorkload>& items, common::ThreadPool& pool);
 
 }  // namespace eilid::apps
 

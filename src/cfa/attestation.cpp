@@ -77,17 +77,17 @@ bool CfaVerifier::replay_edge(const LoggedEdge& edge) {
     return true;
   }
   if (edge.irq) {
-    if (cfg_.isr_entries.count(edge.to) == 0) return false;
+    if (cfg_->isr_entries.count(edge.to) == 0) return false;
     irq_stack_.push_back(edge.from);  // resume point
     return true;
   }
   // Direct jump/branch edge?
-  if (cfg_.has_jump_edge(edge.from, edge.to)) return true;
+  if (cfg_->has_jump_edge(edge.from, edge.to)) return true;
   // Call site?
-  auto call = cfg_.call_sites.find(edge.from);
-  if (call != cfg_.call_sites.end()) {
+  auto call = cfg_->call_sites.find(edge.from);
+  if (call != cfg_->call_sites.end()) {
     if (call->second.indirect) {
-      if (cfg_.call_targets.count(edge.to) == 0) return false;
+      if (cfg_->call_targets.count(edge.to) == 0) return false;
     } else if (call->second.target != edge.to) {
       return false;
     }
@@ -95,13 +95,13 @@ bool CfaVerifier::replay_edge(const LoggedEdge& edge) {
     return true;
   }
   // Return?
-  if (cfg_.ret_addrs.count(edge.from) != 0) {
+  if (cfg_->ret_addrs.count(edge.from) != 0) {
     if (call_stack_.empty() || call_stack_.back() != edge.to) return false;
     call_stack_.pop_back();
     return true;
   }
   // Return from interrupt?
-  if (cfg_.reti_addrs.count(edge.from) != 0) {
+  if (cfg_->reti_addrs.count(edge.from) != 0) {
     if (irq_stack_.empty() || irq_stack_.back() != edge.to) return false;
     irq_stack_.pop_back();
     return true;

@@ -8,6 +8,7 @@
 #define EILID_CFA_ATTESTATION_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -84,7 +85,13 @@ class CfaVerifier {
     std::optional<LoggedEdge> first_bad;
   };
 
-  CfaVerifier(Cfg cfg, crypto::Digest key) : cfg_(std::move(cfg)), key_(key) {}
+  CfaVerifier(Cfg cfg, crypto::Digest key)
+      : CfaVerifier(std::make_shared<const Cfg>(std::move(cfg)), key) {}
+  // Fleet-scale form: N verifiers replaying against one shared
+  // (immutable) CFG, extracted once per build instead of once per
+  // device.
+  CfaVerifier(std::shared_ptr<const Cfg> cfg, crypto::Digest key)
+      : cfg_(std::move(cfg)), key_(key) {}
 
   // Verify the next report in sequence. Replay state (call stack,
   // interrupt frames) persists across reports.
@@ -95,7 +102,7 @@ class CfaVerifier {
  private:
   bool replay_edge(const LoggedEdge& edge);
 
-  Cfg cfg_;
+  std::shared_ptr<const Cfg> cfg_;
   crypto::Digest key_;
   std::vector<uint16_t> call_stack_;  // expected return addresses
   std::vector<uint16_t> irq_stack_;   // expected resume addresses

@@ -1,6 +1,7 @@
 #include "eilid/fleet.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "cfa/cfg.h"
 #include "common/error.h"
@@ -11,35 +12,124 @@ namespace eilid {
 // VerifierService
 // ------------------------------------------------------------------
 
-void VerifierService::enroll(DeviceSession& session) {
+std::shared_ptr<const cfa::Cfg> VerifierService::cfg_for(
+    DeviceSession& session) {
+  const core::BuildResult* key = session.shared_build().get();
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    auto it = cfg_cache_.find(key);
+    if (it != cfg_cache_.end()) {
+      if (!it->second.first.expired()) return it->second.second;
+      cfg_cache_.erase(it);  // the build died; the address was recycled
+    }
+  }
+  // Extraction is the expensive half of enrollment: do it unlocked. A
+  // concurrent miss on the same build may extract twice; the first
+  // insert wins and both get an equivalent immutable CFG.
+  auto cfg = std::make_shared<const cfa::Cfg>(
+      cfa::extract_cfg(session.build().app));
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  // Misses are already paying for an extraction; prune dead builds so
+  // a long-lived service cycling through builds cannot accrete.
+  for (auto it = cfg_cache_.begin(); it != cfg_cache_.end();) {
+    it = it->second.first.expired() ? cfg_cache_.erase(it) : std::next(it);
+  }
+  auto [it, inserted] = cfg_cache_.try_emplace(
+      key, std::weak_ptr<const core::BuildResult>(session.shared_build()),
+      std::move(cfg));
+  (void)inserted;
+  return it->second.second;
+}
+
+VerifierService::DeviceState VerifierService::make_state(
+    DeviceSession& session) {
   if (session.cfa_monitor() == nullptr) {
     throw FleetError("verifier: session '" + session.id() +
                      "' has no CFA monitor (policy " +
                      std::string(enforcement_policy_name(session.policy())) +
                      "); only kCfaBaseline devices attest");
   }
-  auto [it, inserted] = devices_.try_emplace(
-      session.id(),
-      DeviceState{&session,
-                  cfa::CfaVerifier(cfa::extract_cfg(session.build().app),
-                                   session.options().attest_key),
-                  0});
+  return DeviceState{
+      &session,
+      cfa::CfaVerifier(cfg_for(session), session.options().attest_key), 0};
+}
+
+void VerifierService::enroll(DeviceSession& session) {
+  DeviceState state = make_state(session);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = devices_.try_emplace(session.id(), std::move(state));
+  (void)it;
   if (!inserted) {
     throw FleetError("verifier: device '" + session.id() +
                      "' is already enrolled");
   }
-  (void)it;
+}
+
+bool VerifierService::enrolled(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.count(device_id) != 0;
+}
+
+void VerifierService::withdraw(const std::string& device_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.erase(device_id);
 }
 
 VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
-  if (!enrolled(session.id())) enroll(session);
-  DeviceState& state = devices_.at(session.id());
+  if (session.cfa_monitor() == nullptr) {
+    // Nothing to challenge: no on-device evidence exists. Report the
+    // gap instead of throwing so a sweep over a mixed-policy batch
+    // degrades per device rather than aborting.
+    AttestResult out;
+    out.device_id = session.id();
+    out.attested = false;
+    return out;
+  }
+  DeviceState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = devices_.find(session.id());
+    if (it != devices_.end()) state = &it->second;
+  }
+  if (state == nullptr) {
+    // First contact: build the replay state outside mu_, then race to
+    // insert it; a concurrent first contact may win, in which case its
+    // state is the one that counts.
+    DeviceState fresh = make_state(session);
+    std::lock_guard<std::mutex> lock(mu_);
+    state = &devices_.try_emplace(session.id(), std::move(fresh))
+                 .first->second;
+  }
+  // Attest the session the caller handed us (not state->session: if a
+  // distinct live session aliases an enrolled id, its own log must be
+  // the evidence -- replaying somebody else's would let it impersonate
+  // a healthy device).
+  return attest_device(*state, session);
+}
+
+VerifierService::AttestResult VerifierService::attest_device(
+    DeviceState& state, DeviceSession& session) {
+  // Per-device locking: DeviceState (replay verifier, expected_seq) is
+  // guarded by its *enrolled* session's mutex, and the session being
+  // drained by its own. They are the same object except when a caller
+  // attests a live session aliasing an enrolled id; then both locks
+  // are taken (std::lock, deadlock-free) so the sweep of the enrolled
+  // device and the aliased attest can never race on the shared state.
+  std::unique_lock<std::mutex> state_lock(state.session->mutex(),
+                                          std::defer_lock);
+  std::unique_lock<std::mutex> drain_lock(session.mutex(), std::defer_lock);
+  if (state.session == &session) {
+    state_lock.lock();
+  } else {
+    std::lock(state_lock, drain_lock);
+  }
 
   AttestResult out;
   out.device_id = session.id();
   out.attested = true;
 
-  const uint64_t nonce = nonce_counter_++;
+  const uint64_t nonce =
+      nonce_counter_.fetch_add(1, std::memory_order_relaxed);
   cfa::Report report =
       session.cfa_monitor()->take_report(nonce, session.machine().cycles());
   out.seq = report.seq;
@@ -56,13 +146,42 @@ VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
   return out;
 }
 
-std::vector<VerifierService::AttestResult> VerifierService::verify_all() {
-  std::vector<AttestResult> out;
-  out.reserve(devices_.size());
+// Snapshot of every enrolled device's state, in enrollment-id (map)
+// order -- the one definition both sweep flavors share, so they can
+// never diverge on what a sweep covers.
+std::vector<VerifierService::DeviceState*> VerifierService::sweep_snapshot() {
+  std::vector<DeviceState*> sweep;
+  std::lock_guard<std::mutex> lock(mu_);
+  sweep.reserve(devices_.size());
   for (auto& [id, state] : devices_) {
     (void)id;
-    out.push_back(attest(*state.session));
+    sweep.push_back(&state);
   }
+  return sweep;
+}
+
+std::vector<VerifierService::AttestResult> VerifierService::verify_all() {
+  std::vector<DeviceState*> sweep = sweep_snapshot();
+  std::vector<AttestResult> out;
+  out.reserve(sweep.size());
+  for (DeviceState* state : sweep) {
+    out.push_back(attest_device(*state, *state->session));
+  }
+  return out;
+}
+
+std::vector<VerifierService::AttestResult> VerifierService::verify_all(
+    common::ThreadPool& pool) {
+  // Workers fill results by snapshot index: they interleave, but the
+  // output order is deterministic and the verdicts match the serial
+  // sweep because each device's evidence, replay state and sequence
+  // window are private to it.
+  std::vector<DeviceState*> sweep = sweep_snapshot();
+  std::vector<AttestResult> out(sweep.size());
+  pool.parallel_for(sweep.size(),
+                    [&](size_t i) {
+                      out[i] = attest_device(*sweep[i], *sweep[i]->session);
+                    });
   return out;
 }
 
@@ -80,7 +199,7 @@ crypto::Digest build_key(const std::string& source, const std::string& name,
   const core::RomConfig& rom =
       o.prebuilt_rom != nullptr ? o.prebuilt_rom->config : o.rom;
   const core::InstrumentConfig& in = o.instrument;
-  std::string meta = "eilid-build-v1|" + name + "|";
+  std::string meta = "eilid-build-v2|" + name + "|";
   auto flag = [&meta](bool b) { meta += b ? '1' : '0'; };
   auto num = [&meta](uint64_t v) { meta += std::to_string(v) + ","; };
   flag(o.eilid);
@@ -98,6 +217,23 @@ crypto::Digest build_key(const std::string& source, const std::string& name,
   num(rom.table_capacity);
   num(rom.shadow_capacity);
   flag(rom.memory_backed_index);
+  // A prebuilt ROM is part of the flashed result, so its *image bytes*
+  // are part of the build's identity -- the config alone is not enough
+  // (two ROMs can share a config yet differ in code), and aliasing
+  // them would flash the second device with the first ROM.
+  if (o.prebuilt_rom != nullptr) {
+    const core::RomInfo& info = *o.prebuilt_rom;
+    num(info.entry_start);
+    num(info.entry_end);
+    num(info.leave_start);
+    num(info.leave_end);
+    for (const auto& chunk : info.unit.image.chunks()) {
+      num(chunk.base);
+      num(chunk.data.size());
+      meta.append(reinterpret_cast<const char*>(chunk.data.data()),
+                  chunk.data.size());
+    }
+  }
   meta += '|';
 
   crypto::Sha256 h;
@@ -114,16 +250,43 @@ std::shared_ptr<const core::BuildResult> Fleet::build(
     const std::string& source, const std::string& name,
     const core::BuildOptions& options) {
   const crypto::Digest key = build_key(source, name, options);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+
+  std::promise<std::shared_ptr<const core::BuildResult>> promise;
+  BuildFuture future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      future = it->second;
+    } else {
+      owner = true;
+      future = promise.get_future().share();
+      cache_.emplace(key, future);
+      ++pipeline_runs_;
+    }
   }
-  ++pipeline_runs_;
-  auto result = std::make_shared<const core::BuildResult>(
-      core::build_app(source, name, options));
-  cache_.emplace(key, result);
-  return result;
+  if (owner) {
+    try {
+      promise.set_value(std::make_shared<const core::BuildResult>(
+          core::build_app(source, name, options)));
+    } catch (...) {
+      // Evict so a later call retries; threads already waiting on this
+      // flight observe the failure.
+      {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        cache_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+size_t Fleet::build_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
 }
 
 crypto::Digest Fleet::device_key(const std::string& device_id) const {
@@ -133,21 +296,74 @@ crypto::Digest Fleet::device_key(const std::string& device_id) const {
       "attest:" + device_id);
 }
 
+Fleet::Shard& Fleet::shard_for(const std::string& device_id) {
+  return shards_[std::hash<std::string>{}(device_id) % kShardCount];
+}
+
+const Fleet::Shard& Fleet::shard_for(const std::string& device_id) const {
+  return shards_[std::hash<std::string>{}(device_id) % kShardCount];
+}
+
 DeviceSession& Fleet::deploy(const std::string& device_id,
                              std::shared_ptr<const core::BuildResult> build,
                              EnforcementPolicy policy, SessionOptions options) {
-  if (by_id_.count(device_id) != 0) {
-    throw FleetError("fleet: device id '" + device_id + "' already deployed");
+  Shard& shard = shard_for(device_id);
+  {
+    // Fast-fail a duplicate id before paying for session construction
+    // (flash + power-on); the try_emplace below stays authoritative
+    // for ids racing past this check.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.sessions.count(device_id) != 0) {
+      throw FleetError("fleet: device id '" + device_id +
+                       "' already deployed");
+    }
   }
   options.attest_key = device_key(device_id);
   auto session = std::make_unique<DeviceSession>(device_id, std::move(build),
                                                  policy, options);
   DeviceSession& ref = *session;
-  // Enroll before registering: if the verifier rejects the device the
-  // fleet must not be left holding a session whose deploy failed.
-  if (policy == EnforcementPolicy::kCfaBaseline) verifier_.enroll(ref);
-  sessions_.push_back(std::move(session));
-  by_id_.emplace(device_id, &ref);
+
+  // Enroll while the session is still privately owned, publish last:
+  // a published session can then never be rolled back, so pointers
+  // handed out by find()/sessions() stay valid until decommission, and
+  // a rollback (enroll or publication failing) withdraws the
+  // enrollment *before* the local unique_ptr destroys the session --
+  // the verifier never holds a dangling DeviceSession* (the old
+  // enroll-first code had no such rollback and leaked one if a later
+  // step threw).
+  bool enrolled_here = false;
+  try {
+    if (policy == EnforcementPolicy::kCfaBaseline) {
+      verifier_.enroll(ref);
+      enrolled_here = true;
+    }
+    // Publish shard entry and order_ slot in one critical section
+    // (lock order: shard.mu, then order_mu_) so the two indexes stay
+    // consistent for every concurrent observer. The order_ slot is
+    // reserved before the shard insert: once the session is visible in
+    // the shard, the remaining push_back cannot throw, so publication
+    // is all-or-nothing.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<std::mutex> order_lock(order_mu_);
+    order_.reserve(order_.size() + 1);
+    auto [it, inserted] = shard.sessions.try_emplace(device_id,
+                                                     std::move(session));
+    (void)it;
+    if (!inserted) {
+      throw FleetError("fleet: device id '" + device_id +
+                       "' already deployed");
+    }
+    order_.push_back(&ref);
+  } catch (...) {
+    // Withdraw only what *this* deploy enrolled (an enrollment that
+    // predates the call -- e.g. a standalone session claimed the id --
+    // is not ours to undo). `session` may still own the object (publish
+    // not reached / try_emplace failed), in which case it is destroyed
+    // on unwind, after the withdraw.
+    if (enrolled_here) verifier_.withdraw(device_id);
+    throw;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
   return ref;
 }
 
@@ -162,8 +378,10 @@ DeviceSession& Fleet::provision(const std::string& device_id,
 }
 
 DeviceSession* Fleet::find(const std::string& device_id) {
-  auto it = by_id_.find(device_id);
-  return it == by_id_.end() ? nullptr : it->second;
+  Shard& shard = shard_for(device_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(device_id);
+  return it == shard.sessions.end() ? nullptr : it->second.get();
 }
 
 DeviceSession& Fleet::at(const std::string& device_id) {
@@ -174,15 +392,32 @@ DeviceSession& Fleet::at(const std::string& device_id) {
   return *session;
 }
 
+std::vector<DeviceSession*> Fleet::sessions() const {
+  std::lock_guard<std::mutex> lock(order_mu_);
+  return order_;
+}
+
 void Fleet::decommission(const std::string& device_id) {
-  DeviceSession& session = at(device_id);
+  Shard& shard = shard_for(device_id);
+  std::unique_ptr<DeviceSession> doomed;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(device_id);
+    if (it == shard.sessions.end()) {
+      throw FleetError("fleet: unknown device id '" + device_id + "'");
+    }
+    doomed = std::move(it->second);
+    shard.sessions.erase(it);
+    // Same critical section as deploy's insert+push, so the order_
+    // entry always exists here (the find guard is belt-and-braces
+    // against any future path that publishes the indexes separately).
+    std::lock_guard<std::mutex> order_lock(order_mu_);
+    auto order_it = std::find(order_.begin(), order_.end(), doomed.get());
+    if (order_it != order_.end()) order_.erase(order_it);
+  }
   verifier_.withdraw(device_id);
-  by_id_.erase(device_id);
-  sessions_.erase(
-      std::find_if(sessions_.begin(), sessions_.end(),
-                   [&session](const std::unique_ptr<DeviceSession>& s) {
-                     return s.get() == &session;
-                   }));
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  // `doomed` is destroyed last, after every index has forgotten it.
 }
 
 }  // namespace eilid

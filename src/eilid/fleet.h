@@ -16,17 +16,56 @@
 //   dev.run_to_symbol("halt", 200000);
 //   if (dev.violation_count() > 0) { /* hijack prevented in real time */ }
 //
+// Concurrency model
+// -----------------
+// The fleet engine is built to be driven from a thread pool
+// (common::ThreadPool); the contract is:
+//
+//   Thread-safe (internally synchronized):
+//     - Fleet::build()/provision()/deploy(): the build cache is
+//       single-flight -- concurrent builds of the same content hash
+//       run the pipeline once and every caller shares the one result;
+//       the device registry is sharded by device-id hash, so deploys
+//       of distinct ids proceed in parallel.
+//     - Fleet::find()/at()/size()/sessions()/decommission() against
+//       concurrent deploys of *other* ids.
+//     - VerifierService::enroll()/attest()/verify_all()/enrolled():
+//       each attestation locks its DeviceSession (per-device locking),
+//       so disjoint devices attest in parallel and the same device is
+//       never attested twice at once.
+//     - apps::run_workload_all(): drives disjoint sessions
+//       concurrently, taking each session's lock for the duration.
+//
+//   Requires external synchronization:
+//     - A DeviceSession itself is single-threaded: do not call run()/
+//       power_cycle()/machine() on one session from two threads. Hold
+//       DeviceSession::mutex() when driving a session that a
+//       concurrent attestation sweep may also touch (run_workload_all
+//       and VerifierService already do).
+//     - decommission()/withdraw() of a device must not race attest()/
+//       verify_all() or any use of that device's session pointer: the
+//       registry hands out raw DeviceSession pointers that die with
+//       decommission. Quiesce sweeps first. Likewise, lifecycle calls
+//       for the *same* id (deploy vs decommission) must be externally
+//       ordered -- a device cannot be retired while it is still being
+//       deployed.
+//
 // The legacy single-device entry points (core::build_app + core::Device)
 // remain as deprecated shims over this layer.
 #ifndef EILID_EILID_FLEET_H
 #define EILID_EILID_FLEET_H
 
+#include <array>
+#include <atomic>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "crypto/hmac.h"
 #include "eilid/session.h"
 
@@ -40,7 +79,9 @@ class VerifierService {
  public:
   struct AttestResult {
     std::string device_id;
-    bool attested = false;  // false: session has no CFA monitor
+    bool attested = false;  // false: session has no CFA monitor, so no
+                            // report could be collected (mac/seq/path
+                            // are meaningless and left false)
     uint32_t seq = 0;
     uint64_t cycle = 0;     // device cycle at report emission
     bool mac_ok = false;
@@ -55,25 +96,33 @@ class VerifierService {
 
   // Register a session for attestation: extracts the CFG from its
   // build and initialises fresh per-device replay state. Throws
-  // eilid::FleetError when the session has no CFA monitor. attest()
-  // enrolls on first contact automatically. The service keeps a
-  // reference for verify_all(): an enrolled session must outlive the
-  // service or be withdraw()n first (Fleet::decommission does this
-  // for fleet-owned sessions).
+  // eilid::FleetError when the session has no CFA monitor or is
+  // already enrolled. attest() enrolls on first contact
+  // automatically. The service keeps a reference for verify_all(): an
+  // enrolled session must outlive the service or be withdraw()n first
+  // (Fleet::decommission does this for fleet-owned sessions).
   void enroll(DeviceSession& session);
-  bool enrolled(const std::string& device_id) const {
-    return devices_.count(device_id) != 0;
-  }
+  bool enrolled(const std::string& device_id) const;
 
   // Challenge one device now: fresh nonce, drain its log, check MAC +
-  // sequence + path. Replay state persists across calls.
+  // sequence + path. Replay state persists across calls. A session
+  // with no CFA monitor is not an error -- there is simply no evidence
+  // to collect -- so the result comes back with attested = false
+  // (ok() false) and the session is not enrolled.
   AttestResult attest(DeviceSession& session);
 
   // Batched sweep over every enrolled device, in enrollment-id order.
+  // The overload fans the sweep out across the pool's workers with
+  // per-device locking; its results are identical to the serial sweep
+  // (same verdicts, same enrollment-id order) because every device's
+  // replay state and sequence window are independent and nonces only
+  // feed the per-report MAC.
   std::vector<AttestResult> verify_all();
+  std::vector<AttestResult> verify_all(common::ThreadPool& pool);
 
-  // Forget a device (its session is going away).
-  void withdraw(const std::string& device_id) { devices_.erase(device_id); }
+  // Forget a device (its session is going away). Must not race a
+  // sweep or attest() of the same device.
+  void withdraw(const std::string& device_id);
 
  private:
   struct DeviceState {
@@ -82,8 +131,34 @@ class VerifierService {
     uint32_t expected_seq = 0;
   };
 
+  // Build fresh replay state for a session. Throws when it has no CFA
+  // monitor. The CFG is extracted once per distinct build (cfg_cache_)
+  // and shared read-only by every device flashed from it; neither the
+  // cache lookup nor a miss's extraction holds mu_.
+  DeviceState make_state(DeviceSession& session);
+  std::shared_ptr<const cfa::Cfg> cfg_for(DeviceSession& session);
+  // The per-device attestation body; callers hold no service lock.
+  // `session` is the device whose log is drained -- normally
+  // state.session, but attest() passes the caller's session so an
+  // aliased id can never present another device's evidence.
+  AttestResult attest_device(DeviceState& state, DeviceSession& session);
+  std::vector<DeviceState*> sweep_snapshot();
+
+  mutable std::mutex mu_;  // guards devices_ (the map structure only;
+                           // per-device state is guarded by the
+                           // session's own mutex)
   std::map<std::string, DeviceState> devices_;
-  uint64_t nonce_counter_ = 1;
+  // Extracted CFG per build. The weak pin detects a dead build (and a
+  // recycled key address); stale entries are pruned on every miss, so
+  // the cache never outgrows the set of live builds by more than the
+  // garbage accrued since the last extraction. Enrolled devices keep
+  // their own shared_ptr via CfaVerifier, so eviction is always safe.
+  std::mutex cfg_mu_;
+  std::map<const core::BuildResult*,
+           std::pair<std::weak_ptr<const core::BuildResult>,
+                     std::shared_ptr<const cfa::Cfg>>>
+      cfg_cache_;
+  std::atomic<uint64_t> nonce_counter_{1};
 };
 
 struct FleetOptions {
@@ -102,18 +177,25 @@ class Fleet {
   // --- build cache -------------------------------------------------
   // Build (or fetch) the app for (source, name, options). The result
   // is immutable and shared by every session deployed from it.
+  // Single-flight: when two threads request the same content hash
+  // concurrently, one runs the pipeline and the other blocks until
+  // the shared result is ready (counted as a cache hit). A build that
+  // throws is evicted, so a later call retries.
   std::shared_ptr<const core::BuildResult> build(
       const std::string& source, const std::string& name,
       const core::BuildOptions& options = {});
 
-  size_t pipeline_runs() const { return pipeline_runs_; }
-  size_t build_cache_hits() const { return cache_hits_; }
-  size_t build_cache_size() const { return cache_.size(); }
+  size_t pipeline_runs() const { return pipeline_runs_.load(); }
+  size_t build_cache_hits() const { return cache_hits_.load(); }
+  size_t build_cache_size() const;
 
   // --- device registry ---------------------------------------------
   // Flash a cached build onto a new device. Throws eilid::FleetError
   // on a duplicate id or a policy/build mismatch. kCfaBaseline
-  // sessions are auto-enrolled with the verifier.
+  // sessions are auto-enrolled with the verifier. Exception-safe: a
+  // deploy that fails at any step (construction, duplicate id,
+  // enrollment) leaves neither the registry nor the verifier holding
+  // the half-deployed session.
   DeviceSession& deploy(const std::string& device_id,
                         std::shared_ptr<const core::BuildResult> build,
                         EnforcementPolicy policy, SessionOptions options = {});
@@ -128,11 +210,10 @@ class Fleet {
   DeviceSession* find(const std::string& device_id);
   DeviceSession& at(const std::string& device_id);  // throws FleetError
   void decommission(const std::string& device_id);
-  size_t size() const { return by_id_.size(); }
-  // Registry iteration, in deployment order.
-  const std::vector<std::unique_ptr<DeviceSession>>& sessions() const {
-    return sessions_;
-  }
+  size_t size() const { return count_.load(); }
+  // Snapshot of the registry in deployment order. The pointers stay
+  // valid until the corresponding device is decommissioned.
+  std::vector<DeviceSession*> sessions() const;
 
   VerifierService& verifier() { return verifier_; }
 
@@ -140,12 +221,33 @@ class Fleet {
   crypto::Digest device_key(const std::string& device_id) const;
 
  private:
+  // Registry shard: deploys/lookups of ids that hash to different
+  // shards never contend on a lock.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<DeviceSession>> sessions;
+  };
+  static constexpr size_t kShardCount = 16;
+
+  Shard& shard_for(const std::string& device_id);
+  const Shard& shard_for(const std::string& device_id) const;
+
   FleetOptions options_;
-  std::map<crypto::Digest, std::shared_ptr<const core::BuildResult>> cache_;
-  size_t cache_hits_ = 0;
-  size_t pipeline_runs_ = 0;
-  std::vector<std::unique_ptr<DeviceSession>> sessions_;
-  std::map<std::string, DeviceSession*> by_id_;
+
+  // Build cache: content hash -> shared future of the one pipeline
+  // run for that hash (single-flight).
+  using BuildFuture =
+      std::shared_future<std::shared_ptr<const core::BuildResult>>;
+  mutable std::mutex cache_mu_;
+  std::map<crypto::Digest, BuildFuture> cache_;
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> pipeline_runs_{0};
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<size_t> count_{0};
+  mutable std::mutex order_mu_;
+  std::vector<DeviceSession*> order_;  // deployment order
+
   VerifierService verifier_;
 };
 

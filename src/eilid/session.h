@@ -9,6 +9,7 @@
 #define EILID_EILID_SESSION_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -87,8 +88,18 @@ class DeviceSession {
   // verifier's replay state is untouched -- it lives off-device.
   void power_cycle();
 
+  // Per-device lock for fleet-level concurrency. A session is itself
+  // single-threaded; when several fleet actors may touch the same
+  // device at once (a workload driver simulating it, an attestation
+  // sweep draining its log), each takes this mutex for the duration.
+  // VerifierService::attest/verify_all and apps::run_workload_all
+  // already do; hold it yourself when hand-driving a session that a
+  // concurrent sweep can see.
+  std::mutex& mutex() const { return mu_; }
+
  private:
   std::string id_;
+  mutable std::mutex mu_;
   std::shared_ptr<const core::BuildResult> build_;
   EnforcementPolicy policy_;
   SessionOptions options_;

@@ -63,6 +63,38 @@ TEST(FleetBuildCache, DistinctSourcesBuildSeparately) {
   EXPECT_EQ(fleet.pipeline_runs(), 2u);
 }
 
+// Regression: the cache key must cover a prebuilt ROM's *image bytes*,
+// not just its config. Two ROMs built from different configs (so their
+// code differs) but relabelled with identical configs used to alias to
+// one cache entry, flashing the second device with the first ROM.
+TEST(FleetBuildCache, PrebuiltRomImageBytesAreKeyed) {
+  core::RomInfo rom_a = core::build_rom();
+  core::RomConfig bigger;
+  bigger.table_capacity = 32;  // different layout -> different ROM code
+  core::RomInfo rom_b = core::build_rom(bigger);
+  ASSERT_NE(rom_a.unit.image.bytes(), rom_b.unit.image.bytes());
+  rom_b.config = rom_a.config;  // configs now alias; only bytes differ
+
+  core::BuildOptions with_a;
+  with_a.prebuilt_rom = &rom_a;
+  core::BuildOptions with_b;
+  with_b.prebuilt_rom = &rom_b;
+
+  Fleet fleet;
+  auto a = fleet.build(kTinyApp, "tiny", with_a);
+  auto b = fleet.build(kTinyApp, "tiny", with_b);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+  // Each cached build carries the ROM it was actually given.
+  EXPECT_EQ(a->rom.unit.image.bytes(), rom_a.unit.image.bytes());
+  EXPECT_EQ(b->rom.unit.image.bytes(), rom_b.unit.image.bytes());
+
+  // The same prebuilt ROM is still a cache hit, not a rebuild.
+  auto a2 = fleet.build(kTinyApp, "tiny", with_a);
+  EXPECT_EQ(a2.get(), a.get());
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+}
+
 // ------------------------------------------------------------- registry
 
 TEST(FleetRegistry, ProvisionManyFromOnePipelineRun) {
@@ -111,6 +143,46 @@ TEST(FleetRegistry, EilidPolicyRejectsPlainBuild) {
   // FleetError stays catchable through the legacy hierarchy.
   EXPECT_THROW(fleet.deploy("mismatch", plain, EnforcementPolicy::kEilidHw),
                ConfigError);
+}
+
+// Regression: deploy is exception-safe. When enrollment rejects the
+// device after the session was registered, the registration is rolled
+// back, and at no point does the verifier keep a DeviceSession* the
+// fleet does not own (the old enroll-before-register order leaked a
+// dangling pointer into the verifier if a later step threw).
+TEST(FleetRegistry, FailedDeployLeavesNoTrace) {
+  Fleet fleet;
+  auto build = fleet.build(kTinyApp, "tiny", {.eilid = false});
+
+  // Occupy the verifier slot behind the fleet's back with a standalone
+  // session, so the fleet's own enroll attempt is rejected.
+  SessionOptions standalone_options;
+  standalone_options.attest_key = fleet.device_key("clash");
+  DeviceSession standalone("clash", build, EnforcementPolicy::kCfaBaseline,
+                           standalone_options);
+  fleet.verifier().enroll(standalone);
+
+  EXPECT_THROW(
+      fleet.deploy("clash", build, EnforcementPolicy::kCfaBaseline),
+      FleetError);
+
+  // The failed deploy is invisible: no registry entry, no count, and
+  // the verifier still serves the session it actually knows.
+  EXPECT_EQ(fleet.find("clash"), nullptr);
+  EXPECT_EQ(fleet.size(), 0u);
+  EXPECT_TRUE(fleet.sessions().empty());
+  EXPECT_TRUE(fleet.verifier().enrolled("clash"));
+  auto sweep = fleet.verifier().verify_all();
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_TRUE(sweep[0].attested);
+  EXPECT_TRUE(sweep[0].mac_ok);
+
+  // The id becomes deployable once the standalone claim is withdrawn.
+  fleet.verifier().withdraw("clash");
+  DeviceSession& redeployed =
+      fleet.deploy("clash", build, EnforcementPolicy::kCfaBaseline);
+  EXPECT_EQ(fleet.find("clash"), &redeployed);
+  EXPECT_EQ(fleet.size(), 1u);
 }
 
 TEST(FleetRegistry, UnknownSymbolThrowsTyped) {
@@ -172,11 +244,26 @@ TEST(FleetPolicies, HijackOutcomePerPolicy) {
   EXPECT_EQ(fleet.pipeline_runs(), 2u);
 }
 
-TEST(FleetPolicies, AttestingNonCfaSessionThrows) {
+// A session with no CFA monitor has no evidence to collect: attest()
+// reports attested = false (never ok()) rather than aborting a mixed
+// sweep, while explicit enroll() of such a session is still an error.
+TEST(FleetPolicies, AttestingNonCfaSessionReportsUnattested) {
   Fleet fleet;
   DeviceSession& dev =
       fleet.provision("plain", kTinyApp, "tiny", EnforcementPolicy::kCasu);
-  EXPECT_THROW(fleet.verifier().attest(dev), FleetError);
+
+  auto verdict = fleet.verifier().attest(dev);
+  EXPECT_EQ(verdict.device_id, "plain");
+  EXPECT_FALSE(verdict.attested);
+  EXPECT_FALSE(verdict.mac_ok);
+  EXPECT_FALSE(verdict.seq_ok);
+  EXPECT_FALSE(verdict.path_ok);
+  EXPECT_FALSE(verdict.ok());
+  // The non-CFA device was not silently enrolled into sweeps.
+  EXPECT_FALSE(fleet.verifier().enrolled("plain"));
+  EXPECT_TRUE(fleet.verifier().verify_all().empty());
+
+  EXPECT_THROW(fleet.verifier().enroll(dev), FleetError);
 }
 
 // ----------------------------------------------------- verifier service

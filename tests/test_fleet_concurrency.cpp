@@ -1,0 +1,227 @@
+// The parallel fleet engine under contention (run these under
+// ThreadSanitizer -- the CI tsan job does): single-flight build cache,
+// sharded registry, concurrent attestation with per-device locking,
+// and the determinism contract of the pooled verify_all() sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "eilid/fleet.h"
+
+namespace eilid {
+namespace {
+
+const char* kTinyApp = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #emit
+    call #emit
+halt:
+    jmp halt
+emit:
+    mov.b #'x', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+
+// ------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  common::ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstError) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](size_t i) {
+                                   if (i == 7) {
+                                     throw FleetError("boom");
+                                   }
+                                 }),
+               FleetError);
+  // The pool survives a failed sweep.
+  std::atomic<size_t> ran{0};
+  pool.parallel_for(64, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+// ------------------------------------------------- single-flight cache
+
+// Many threads race provision() of the same source: exactly one
+// pipeline run, every session flashed from the one shared result.
+TEST(FleetConcurrency, ConcurrentProvisionIsSingleFlight) {
+  Fleet fleet;
+  constexpr size_t kDevices = 16;
+  common::ThreadPool pool(8);
+  std::vector<DeviceSession*> devices(kDevices);
+  pool.parallel_for(kDevices, [&](size_t i) {
+    devices[i] =
+        &fleet.provision("node-" + std::to_string(i), kTinyApp, "tiny",
+                         EnforcementPolicy::kEilidHw);
+  });
+
+  EXPECT_EQ(fleet.pipeline_runs(), 1u);
+  EXPECT_EQ(fleet.build_cache_hits(), kDevices - 1);
+  EXPECT_EQ(fleet.build_cache_size(), 1u);
+  EXPECT_EQ(fleet.size(), kDevices);
+  EXPECT_EQ(fleet.sessions().size(), kDevices);
+  for (size_t i = 0; i < kDevices; ++i) {
+    EXPECT_EQ(devices[i]->shared_build().get(),
+              devices[0]->shared_build().get());
+    EXPECT_EQ(fleet.find("node-" + std::to_string(i)), devices[i]);
+  }
+}
+
+// A racing duplicate id is rejected exactly once and leaves the one
+// winner deployed.
+TEST(FleetConcurrency, ConcurrentDuplicateDeployOneWinner) {
+  Fleet fleet;
+  auto build = fleet.build(kTinyApp, "tiny", {.eilid = false});
+  std::atomic<size_t> rejected{0};
+  common::ThreadPool pool(8);
+  pool.parallel_for(8, [&](size_t) {
+    try {
+      fleet.deploy("contested", build, EnforcementPolicy::kCfaBaseline);
+    } catch (const FleetError&) {
+      ++rejected;
+    }
+  });
+  EXPECT_EQ(rejected.load(), 7u);
+  EXPECT_EQ(fleet.size(), 1u);
+  EXPECT_TRUE(fleet.verifier().enrolled("contested"));
+}
+
+// --------------------------------------------------------- attestation
+
+// Disjoint devices attest concurrently; every verdict is clean and
+// per-device sequence tracking never cross-talks.
+TEST(FleetConcurrency, ConcurrentAttestDisjointDevices) {
+  Fleet fleet;
+  constexpr size_t kDevices = 12;
+  std::vector<DeviceSession*> devices;
+  for (size_t i = 0; i < kDevices; ++i) {
+    DeviceSession& dev =
+        fleet.provision("cfa-" + std::to_string(i), kTinyApp, "tiny",
+                        EnforcementPolicy::kCfaBaseline);
+    dev.run_to_symbol("halt", 100000);
+    devices.push_back(&dev);
+  }
+
+  common::ThreadPool pool(8);
+  constexpr int kRounds = 4;
+  std::vector<VerifierService::AttestResult> verdicts(kDevices);
+  for (int round = 0; round < kRounds; ++round) {
+    pool.parallel_for(kDevices, [&](size_t i) {
+      verdicts[i] = fleet.verifier().attest(*devices[i]);
+    });
+    for (size_t i = 0; i < kDevices; ++i) {
+      EXPECT_TRUE(verdicts[i].ok()) << verdicts[i].device_id;
+      EXPECT_EQ(verdicts[i].seq, static_cast<uint32_t>(round))
+          << verdicts[i].device_id;
+    }
+  }
+}
+
+// Simulation and attestation race on the same devices: per-device
+// locking keeps both sides coherent (this is the TSan-interesting
+// case; verdict contents depend on interleaving, so only invariants
+// are checked).
+TEST(FleetConcurrency, WorkloadsRaceAttestationSweeps) {
+  const auto& app = apps::app_by_name("temp_sensor");
+  Fleet fleet;
+  constexpr size_t kDevices = 8;
+  std::vector<apps::FleetWorkload> work;
+  for (size_t i = 0; i < kDevices; ++i) {
+    DeviceSession& dev = fleet.provision(
+        "racer-" + std::to_string(i), app.source, app.name,
+        EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 65536}});
+    work.push_back({&dev, &app, 0});
+  }
+
+  common::ThreadPool workers(4);
+  common::ThreadPool sweeper(2);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> sweeps{0};
+  std::thread attestor([&] {
+    while (!done.load()) {
+      for (const auto& verdict : fleet.verifier().verify_all(sweeper)) {
+        EXPECT_TRUE(verdict.attested) << verdict.device_id;
+        EXPECT_TRUE(verdict.mac_ok) << verdict.device_id;
+        EXPECT_TRUE(verdict.seq_ok) << verdict.device_id;
+      }
+      ++sweeps;
+    }
+  });
+  auto outcomes = apps::run_workload_all(work, workers);
+  done.store(true);
+  attestor.join();
+
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.reached_halt);
+    EXPECT_TRUE(outcome.check_failure.empty()) << outcome.check_failure;
+  }
+  EXPECT_GE(sweeps.load(), 1u);
+}
+
+// ------------------------------------------------------- verify_all()
+
+// The pooled sweep is a drop-in for the serial one: identical verdict
+// tuples in identical enrollment-id order, for any worker count.
+TEST(FleetConcurrency, VerifyAllMatchesSerialSweep) {
+  const auto& app = apps::app_by_name("light_sensor");
+
+  auto build_fleet = [&](Fleet& fleet) {
+    std::vector<DeviceSession*> devices;
+    for (int i = 0; i < 10; ++i) {
+      DeviceSession& dev = fleet.provision(
+          "dev-" + std::to_string(i), app.source, app.name,
+          EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 65536}});
+      apps::run_workload(dev, app);
+      devices.push_back(&dev);
+    }
+    return devices;
+  };
+
+  Fleet serial_fleet;
+  Fleet pooled_fleet;
+  build_fleet(serial_fleet);
+  build_fleet(pooled_fleet);
+
+  common::ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    auto serial = serial_fleet.verifier().verify_all();
+    auto pooled = pooled_fleet.verifier().verify_all(pool);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].device_id, pooled[i].device_id) << i;
+      EXPECT_EQ(serial[i].attested, pooled[i].attested) << i;
+      EXPECT_EQ(serial[i].seq, pooled[i].seq) << i;
+      EXPECT_EQ(serial[i].cycle, pooled[i].cycle) << i;
+      EXPECT_EQ(serial[i].mac_ok, pooled[i].mac_ok) << i;
+      EXPECT_EQ(serial[i].seq_ok, pooled[i].seq_ok) << i;
+      EXPECT_EQ(serial[i].path_ok, pooled[i].path_ok) << i;
+      EXPECT_EQ(serial[i].edges, pooled[i].edges) << i;
+      EXPECT_EQ(serial[i].dropped, pooled[i].dropped) << i;
+      EXPECT_TRUE(pooled[i].ok()) << pooled[i].device_id;
+    }
+    // Enrollment-id order, regardless of worker interleaving.
+    for (size_t i = 1; i < pooled.size(); ++i) {
+      EXPECT_LT(pooled[i - 1].device_id, pooled[i].device_id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eilid
