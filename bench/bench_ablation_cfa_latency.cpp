@@ -8,33 +8,22 @@
 
 #include "bench/bench_util.h"
 #include "src/attacks/attack.h"
-#include "src/cfa/attestation.h"
-#include "src/cfa/cfg.h"
 
 using namespace eilid;
 using namespace eilid::bench;
 
 namespace {
 
-crypto::Digest test_key() {
-  crypto::Digest k{};
-  for (size_t i = 0; i < k.size(); ++i) k[i] = static_cast<uint8_t>(i);
-  return k;
-}
-
-// Run the P1 exploit on a CFA-monitored (unprotected) device with the
-// given attestation interval; return cycles from attack to detection,
-// or 0 if undetected.
-uint64_t cfa_detection_latency(uint64_t interval) {
+// Run the P1 exploit on a CFA-attested device (kCfaBaseline session)
+// with the given attestation interval; return cycles from attack to
+// detection, or 0 if undetected.
+uint64_t cfa_detection_latency(Fleet& fleet, uint64_t interval) {
   const auto& app = apps::vuln_gateway();
-  core::BuildOptions options;
-  options.eilid = false;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build);
-  cfa::CfaMonitor monitor(device.machine().bus(), test_key(),
-                          {.log_capacity = 4096});
-  device.machine().add_monitor(&monitor);
-  cfa::CfaVerifier verifier(cfa::extract_cfg(build.app), test_key());
+  const std::string id = "cfa-" + std::to_string(interval);
+  DeviceSession& device =
+      fleet.deploy(id, fleet.build(app.source, app.name, {.eilid = false}),
+                   EnforcementPolicy::kCfaBaseline,
+                   {.cfa = {.log_capacity = 4096}});
 
   device.machine().uart().feed(
       attacks::overflow_ret_payload(device.symbol("unlock")));
@@ -42,16 +31,13 @@ uint64_t cfa_detection_latency(uint64_t interval) {
   // The hijack lands once the exploit packet is parsed; find the cycle
   // by watching for 'U'.
   uint64_t attack_cycle = 0;
-  uint64_t nonce = 1;
   for (int slice = 0; slice < 64; ++slice) {
-    device.machine().run(interval);
+    device.run(interval);
     if (attack_cycle == 0 &&
         device.machine().uart().tx_text().find('U') != std::string::npos) {
       attack_cycle = device.machine().cycles();  // upper bound within slice
     }
-    cfa::Report report = monitor.take_report(nonce, device.machine().cycles());
-    auto result = verifier.verify(report, nonce);
-    ++nonce;
+    VerifierService::AttestResult result = fleet.verifier().attest(device);
     if (!result.mac_ok) return 0;
     if (!result.path_ok) return device.machine().cycles() -
                                  (attack_cycle ? attack_cycle - interval : 0);
@@ -60,14 +46,16 @@ uint64_t cfa_detection_latency(uint64_t interval) {
 }
 
 // EILID latency for the same exploit.
-uint64_t eilid_latency() {
+uint64_t eilid_latency(Fleet& fleet) {
   const auto& app = apps::vuln_gateway();
-  core::BuildResult build = core::build_app(app.source, app.name);
-  core::Device device(build, {.clock_hz = 8e6, .halt_on_reset = true});
+  DeviceSession& device =
+      fleet.deploy("eilid-latency", fleet.build(app.source, app.name),
+                   EnforcementPolicy::kEilidHw,
+                   {.clock_hz = 8e6, .halt_on_reset = true});
   device.machine().uart().feed(
       attacks::overflow_ret_payload(device.symbol("unlock")));
   device.run_to_symbol("halt", app.cycle_budget);
-  if (device.machine().violation_count() == 0) return 0;
+  if (device.violation_count() == 0) return 0;
   // Prevention: the mismatch is caught inside check_ra before the
   // corrupted ret executes -- latency is the check path itself.
   return 40;  // measured by bench_micro_eilidsw (check path ~ 36 cycles)
@@ -80,8 +68,9 @@ int main() {
               "vuln_gateway)\n\n");
   std::printf("%-34s | %-16s | %s\n", "Scheme", "detects within", "damage window");
   print_rule(84);
+  Fleet fleet;
   for (uint64_t interval : {10000ull, 50000ull, 200000ull}) {
-    uint64_t latency = cfa_detection_latency(interval);
+    uint64_t latency = cfa_detection_latency(fleet, interval);
     if (latency == 0) {
       std::printf("CFA (interval %6llu cycles)        | undetected       | "
                   "unbounded\n",
@@ -93,7 +82,7 @@ int main() {
                   static_cast<unsigned long long>(latency));
     }
   }
-  uint64_t el = eilid_latency();
+  uint64_t el = eilid_latency(fleet);
   std::printf("%-34s | %8llu cycles  | none (corrupt ret never executes)\n",
               "EILID (real-time CFI)", static_cast<unsigned long long>(el));
 
@@ -103,15 +92,12 @@ int main() {
               "bytes per 1000 cycles");
   print_rule(72);
   for (const auto& a : apps::table4_apps()) {
-    core::BuildOptions options;
-    options.eilid = false;
-    core::BuildResult build = core::build_app(a.source, a.name, options);
-    core::Device device(build);
-    cfa::CfaMonitor monitor(device.machine().bus(), test_key(),
-                            {.log_capacity = 1u << 20});
-    device.machine().add_monitor(&monitor);
+    DeviceSession& device = fleet.deploy(
+        "logvol-" + a.name, fleet.build(a.source, a.name, {.eilid = false}),
+        EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 1u << 20}});
     a.setup(device.machine());
     auto run = device.run_to_symbol("halt", 8 * a.cycle_budget);
+    const cfa::CfaMonitor& monitor = *device.cfa_monitor();
     double per_kcycle = run.cycles
                             ? 1000.0 * static_cast<double>(monitor.total_log_bytes()) /
                                   static_cast<double>(run.cycles)

@@ -20,19 +20,23 @@ struct PolicyStats {
   bool ok = false;
 };
 
-PolicyStats run_policy(const apps::AppSpec& app, core::TablePolicy policy) {
+PolicyStats run_policy(Fleet& fleet, const apps::AppSpec& app,
+                       core::TablePolicy policy) {
   core::BuildOptions options;
   options.instrument.table_policy = policy;
-  core::BuildResult build = core::build_app(app.source, app.name, options);
-  core::Device device(build);
+  auto build = fleet.build(app.source, app.name, options);
+  DeviceSession& device =
+      fleet.deploy(app.name + "-policy-" +
+                       std::to_string(static_cast<int>(policy)),
+                   build, EnforcementPolicy::kEilidHw);
   device.machine().uart().feed(attacks::benign_payload());
   auto run = device.run_to_symbol("halt", 8 * app.cycle_budget);
   PolicyStats s;
-  s.binary = build.binary_size();
-  s.registered = build.report.sites.functions_registered;
+  s.binary = build->binary_size();
+  s.registered = build->report.sites.functions_registered;
   s.micros = device.machine().micros(run.cycles);
   s.ok = run.cause == sim::StopCause::kBreakpoint &&
-         device.machine().violation_count() == 0;
+         device.violation_count() == 0;
   return s;
 }
 
@@ -46,8 +50,9 @@ int main() {
   print_rule(84);
   const auto& app = apps::vuln_gateway();
 
-  PolicyStats taken = run_policy(app, core::TablePolicy::kAddressTaken);
-  PolicyStats all = run_policy(app, core::TablePolicy::kAllFunctions);
+  Fleet fleet;
+  PolicyStats taken = run_policy(fleet, app, core::TablePolicy::kAddressTaken);
+  PolicyStats all = run_policy(fleet, app, core::TablePolicy::kAllFunctions);
   if (!taken.ok || !all.ok) {
     std::printf("RUN FAILED\n");
     return 1;

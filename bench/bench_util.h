@@ -7,7 +7,6 @@
 #include <string>
 
 #include "apps/apps.h"
-#include "eilid/device.h"  // deprecated shim; ablation benches still use it
 #include "eilid/fleet.h"
 
 namespace eilid::bench {

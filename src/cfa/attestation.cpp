@@ -1,7 +1,5 @@
 #include "cfa/attestation.h"
 
-#include "isa/decoder.h"
-
 namespace eilid::cfa {
 
 void CfaMonitor::log_edge(LoggedEdge edge) {
@@ -13,15 +11,12 @@ void CfaMonitor::log_edge(LoggedEdge edge) {
   log_.push_back(edge);
 }
 
-void CfaMonitor::on_step(uint16_t from_pc, uint16_t to_pc) {
-  // Determine the fall-through address by decoding the instruction that
-  // just executed; anything else is a control transfer.
-  std::array<uint16_t, 3> words = {
-      bus_.raw_word(from_pc), bus_.raw_word(static_cast<uint16_t>(from_pc + 2)),
-      bus_.raw_word(static_cast<uint16_t>(from_pc + 4))};
-  auto decoded = isa::decode(words, from_pc);
-  if (!decoded) return;
-  if (to_pc != decoded->next_address()) {
+void CfaMonitor::on_step(uint16_t from_pc, uint16_t to_pc,
+                         uint16_t fallthrough) {
+  // Anything that did not land on the fall-through address is a
+  // control transfer. (fallthrough == from_pc when nothing decoded, so
+  // illegal-instruction steps log nothing, as before.)
+  if (to_pc != fallthrough) {
     log_edge({from_pc, to_pc, false});
   }
 }
@@ -42,19 +37,33 @@ void CfaMonitor::on_device_reset() {
 crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
                                       uint32_t seq,
                                       const std::vector<LoggedEdge>& edges) {
-  std::vector<uint8_t> msg;
-  msg.reserve(12 + edges.size() * 5);
-  for (int i = 0; i < 8; ++i) msg.push_back(static_cast<uint8_t>(nonce >> (8 * i)));
-  for (int i = 0; i < 4; ++i) msg.push_back(static_cast<uint8_t>(seq >> (8 * i)));
-  for (const auto& e : edges) {
-    msg.push_back(static_cast<uint8_t>(e.from));
-    msg.push_back(static_cast<uint8_t>(e.from >> 8));
-    msg.push_back(static_cast<uint8_t>(e.to));
-    msg.push_back(static_cast<uint8_t>(e.to >> 8));
-    msg.push_back(static_cast<uint8_t>((e.irq ? 1 : 0) | (e.reset ? 2 : 0)));
+  // Stream the report through an incremental HMAC instead of
+  // materializing a nonce|seq|edges byte vector: a drained 2^17-edge
+  // log would otherwise allocate ~640 KB per report just to hash it.
+  crypto::HmacSha256 mac(std::span<const uint8_t>(key.data(), key.size()));
+  uint8_t header[12];
+  for (int i = 0; i < 8; ++i) header[i] = static_cast<uint8_t>(nonce >> (8 * i));
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = static_cast<uint8_t>(seq >> (8 * i));
   }
-  return crypto::hmac_sha256(std::span<const uint8_t>(key.data(), key.size()),
-                             std::span<const uint8_t>(msg.data(), msg.size()));
+  mac.update(std::span<const uint8_t>(header, sizeof(header)));
+  // Batch edge records through a block-sized buffer so Sha256::update
+  // sees chunks, not 5-byte dribbles.
+  uint8_t buf[320];  // 64 edge records (multiple of both 5 and 64)
+  size_t fill = 0;
+  for (const auto& e : edges) {
+    buf[fill++] = static_cast<uint8_t>(e.from);
+    buf[fill++] = static_cast<uint8_t>(e.from >> 8);
+    buf[fill++] = static_cast<uint8_t>(e.to);
+    buf[fill++] = static_cast<uint8_t>(e.to >> 8);
+    buf[fill++] = static_cast<uint8_t>((e.irq ? 1 : 0) | (e.reset ? 2 : 0));
+    if (fill == sizeof(buf)) {
+      mac.update(std::span<const uint8_t>(buf, fill));
+      fill = 0;
+    }
+  }
+  if (fill != 0) mac.update(std::span<const uint8_t>(buf, fill));
+  return mac.finish();
 }
 
 Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle) {

@@ -40,16 +40,22 @@ struct CfaConfig {
   size_t log_capacity = 256;  // edges held on-device between reports
 };
 
-// The on-device half: logging monitor + report generation.
+// The on-device half: logging monitor + report generation. Needs no
+// bus reference: control transfers are detected from the fall-through
+// address the machine already decoded (see on_step).
 class CfaMonitor : public sim::Monitor {
  public:
-  CfaMonitor(sim::Bus& bus, crypto::Digest key, CfaConfig config = {})
-      : bus_(bus), key_(key), config_(config) {}
+  explicit CfaMonitor(crypto::Digest key, CfaConfig config = {})
+      : key_(key), config_(config) {}
 
   // sim::Monitor. Note: the log *survives* device resets (ACFA keeps
   // the log slice in attested memory so that evidence of the pre-reset
   // path is preserved); a reset marker edge is appended instead.
-  void on_step(uint16_t from_pc, uint16_t to_pc) override;
+  // Zero-redecode: the machine hands over the already-decoded
+  // fall-through address, so spotting a control transfer is a single
+  // integer compare per retired instruction (the interpretive core
+  // used to decode every instruction a second time here).
+  void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) override;
   void on_interrupt(int vector_index, uint16_t from_pc, uint16_t to_pc) override;
   void on_device_reset() override;
 
@@ -67,7 +73,6 @@ class CfaMonitor : public sim::Monitor {
  private:
   void log_edge(LoggedEdge edge);
 
-  sim::Bus& bus_;
   crypto::Digest key_;
   CfaConfig config_;
   std::vector<LoggedEdge> log_;

@@ -4,7 +4,7 @@
 
 namespace eilid::crypto {
 
-Digest hmac_sha256(std::span<const uint8_t> key, std::span<const uint8_t> message) {
+HmacSha256::HmacSha256(std::span<const uint8_t> key) {
   constexpr size_t kBlock = Sha256::kBlockSize;
   std::array<uint8_t, kBlock> k0{};
 
@@ -15,22 +15,27 @@ Digest hmac_sha256(std::span<const uint8_t> key, std::span<const uint8_t> messag
     std::copy(key.begin(), key.end(), k0.begin());
   }
 
-  std::array<uint8_t, kBlock> ipad;
-  std::array<uint8_t, kBlock> opad;
   for (size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = static_cast<uint8_t>(k0[i] ^ 0x36);
-    opad[i] = static_cast<uint8_t>(k0[i] ^ 0x5c);
+    ipad_[i] = static_cast<uint8_t>(k0[i] ^ 0x36);
+    opad_[i] = static_cast<uint8_t>(k0[i] ^ 0x5c);
   }
+  inner_.update(std::span<const uint8_t>(ipad_.data(), ipad_.size()));
+}
 
-  Sha256 inner;
-  inner.update(std::span<const uint8_t>(ipad.data(), ipad.size()));
-  inner.update(message);
-  Digest inner_digest = inner.finish();
-
+Digest HmacSha256::finish() {
+  Digest inner_digest = inner_.finish();  // finish() resets inner_
   Sha256 outer;
-  outer.update(std::span<const uint8_t>(opad.data(), opad.size()));
-  outer.update(std::span<const uint8_t>(inner_digest.data(), inner_digest.size()));
+  outer.update(std::span<const uint8_t>(opad_.data(), opad_.size()));
+  outer.update(
+      std::span<const uint8_t>(inner_digest.data(), inner_digest.size()));
+  inner_.update(std::span<const uint8_t>(ipad_.data(), ipad_.size()));  // re-arm
   return outer.finish();
+}
+
+Digest hmac_sha256(std::span<const uint8_t> key, std::span<const uint8_t> message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finish();
 }
 
 Digest hmac_sha256(std::string_view key, std::string_view message) {

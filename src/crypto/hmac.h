@@ -12,6 +12,24 @@
 
 namespace eilid::crypto {
 
+// Incremental HMAC-SHA256: stream the message through update() and
+// call finish() once. finish() re-arms the object with the same key,
+// so one instance can MAC a sequence of messages without re-deriving
+// the pads. Lets callers (e.g. the CFA report MAC) stream large
+// messages instead of materializing a contiguous byte vector.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(std::span<const uint8_t> key);
+
+  void update(std::span<const uint8_t> data) { inner_.update(data); }
+  Digest finish();
+
+ private:
+  std::array<uint8_t, Sha256::kBlockSize> ipad_;
+  std::array<uint8_t, Sha256::kBlockSize> opad_;
+  Sha256 inner_;
+};
+
 // MAC = HMAC-SHA256(key, message).
 Digest hmac_sha256(std::span<const uint8_t> key, std::span<const uint8_t> message);
 Digest hmac_sha256(std::string_view key, std::string_view message);

@@ -3,7 +3,15 @@
 //
 //   - a content-hash-keyed build cache: identical (source, options)
 //     pairs run the three-iteration pipeline exactly once and share
-//     one immutable BuildResult across every device flashed with it,
+//     one immutable BuildResult across every device flashed with it --
+//     including one shared isa::DecodedImage (the ROM predecoded once
+//     per build, consulted by every session's hot loop; a session
+//     falls back to interpretive decode only for PCs outside flash or
+//     after a store lands in the code range, which bumps the bus's
+//     code-generation counter -- CASU-enforced devices never do, so a
+//     fleet of N devices on one build decodes each instruction once,
+//     at build time, total). SessionOptions.predecode = false opts a
+//     session out (pure interpretive core, identical traces/verdicts),
 //   - a device registry provisioning N DeviceSessions from cached
 //     builds, each wired per its EnforcementPolicy,
 //   - a VerifierService multiplexing attestation across sessions with

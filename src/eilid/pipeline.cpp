@@ -1,8 +1,38 @@
 #include "eilid/pipeline.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/error.h"
+#include "sim/memory_map.h"
 
 namespace eilid::core {
+
+namespace {
+
+// Predecode the build's code regions once, from exactly the bytes a
+// freshly flashed device holds (the image over zero-filled memory).
+std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
+  std::vector<uint8_t> flat(0x10000, 0);
+  auto blit = [&flat](const masm::MemoryImage& image) {
+    for (const auto& chunk : image.chunks()) {
+      std::copy(chunk.data.begin(), chunk.data.end(),
+                flat.begin() + chunk.base);
+    }
+  };
+  blit(result.app.image);
+  if (result.rom.unit.image.size_bytes() != 0) blit(result.rom.unit.image);
+  const isa::DecodedImage::Range ranges[] = {
+      {sim::kRomStart, sim::kRomEnd},
+      {sim::kPmemStart, 0xFFFE},
+  };
+  return std::make_shared<const isa::DecodedImage>(
+      std::span<const uint8_t>(flat.data(), flat.size()),
+      std::span<const isa::DecodedImage::Range>(ranges, 2));
+}
+
+}  // namespace
 
 BuildResult build_app(const std::string& source, const std::string& name,
                       const BuildOptions& options) {
@@ -12,6 +42,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
   if (!options.eilid) {
     result.app = masm::assemble(original, name);
     result.iterations.push_back({original.size(), result.app.image.size_bytes()});
+    result.decoded_image = predecode(result);
     return result;
   }
 
@@ -33,6 +64,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
     result.app = masm::assemble(ir.lines, name);
     result.report = std::move(ir);
     result.iterations.push_back({original.size(), result.app.image.size_bytes()});
+    result.decoded_image = predecode(result);
     return result;
   }
 
@@ -64,6 +96,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
 
   result.app = std::move(build3);
   result.report = std::move(inst3);
+  result.decoded_image = predecode(result);
   return result;
 }
 

@@ -11,11 +11,13 @@
 #ifndef EILID_EILID_PIPELINE_H
 #define EILID_EILID_PIPELINE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "eilid/instrumenter.h"
 #include "eilid/rom_builder.h"
+#include "isa/decoded_image.h"
 #include "masm/assembler.h"
 
 namespace eilid::core {
@@ -41,6 +43,13 @@ struct BuildResult {
   InstrumentResult report;   // last instrumentation pass
   std::vector<IterationStats> iterations;  // Fig. 2 growth data
   bool converged = true;
+  // Predecoded view of the flashed code regions (secure ROM + PMEM),
+  // built once here and shared read-only by every device flashed with
+  // this build -- the fleet's build cache therefore decodes each ROM
+  // exactly once, however many sessions run it. See
+  // isa::DecodedImage / Machine::attach_decoded_image for the
+  // invalidation rule.
+  std::shared_ptr<const isa::DecodedImage> decoded_image;
 
   size_t binary_size() const { return app.image.size_bytes(); }
 };

@@ -63,8 +63,8 @@ DeviceSession::DeviceSession(std::string device_id,
     }
   }
   if (policy_ == EnforcementPolicy::kCfaBaseline) {
-    cfa_monitor_ = std::make_unique<cfa::CfaMonitor>(
-        machine_.bus(), options_.attest_key, options_.cfa);
+    cfa_monitor_ =
+        std::make_unique<cfa::CfaMonitor>(options_.attest_key, options_.cfa);
     machine_.add_monitor(cfa_monitor_.get());
   }
   machine_.set_halt_on_reset(options_.halt_on_reset);
@@ -76,6 +76,12 @@ DeviceSession::DeviceSession(std::string device_id,
     for (const auto& chunk : build_->rom.unit.image.chunks()) {
       machine_.load(chunk.base, chunk.data);
     }
+  }
+  // Attach the build's shared predecoded image *after* the loads (the
+  // attachment snapshots the bus's code generation, so it must see the
+  // flashed state). Every session of this build shares one table.
+  if (options_.predecode && build_->decoded_image != nullptr) {
+    machine_.attach_decoded_image(build_->decoded_image);
   }
   machine_.power_on();
 }

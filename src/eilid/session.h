@@ -41,6 +41,11 @@ struct SessionOptions {
   // Per-device attestation MAC key. Fleet derives it from its master
   // key; standalone sessions may set it directly.
   crypto::Digest attest_key{};
+  // Consult the build's shared predecoded image in the simulator hot
+  // loop (false forces pure interpretive decode -- the pre-predecode
+  // core, kept for A/B benchmarking and coherence tests; retired
+  // instruction traces and verdicts are identical either way).
+  bool predecode = true;
 };
 
 class DeviceSession {

@@ -1,0 +1,64 @@
+#include "isa/decoded_image.h"
+
+#include "isa/cycles.h"
+#include "isa/registers.h"
+
+namespace eilid::isa {
+
+bool is_control_transfer(const Instruction& insn) {
+  const OpcodeInfo& info = opcode_info(insn.op);
+  switch (info.format) {
+    case Format::kJump:
+      return true;
+    case Format::kDouble:
+      return insn.dst.mode == AddrMode::kRegister && insn.dst.reg == kPC;
+    case Format::kSingle:
+      if (insn.op == Opcode::kCall || insn.op == Opcode::kReti) return true;
+      // rrc/rra/swpb/sxt with PC as the read-modify-write operand.
+      return insn.op != Opcode::kPush &&
+             insn.src.mode == AddrMode::kRegister && insn.src.reg == kPC;
+  }
+  return false;
+}
+
+DecodedImage::DecodedImage(std::span<const uint8_t> memory,
+                           std::span<const Range> ranges) {
+  auto word_at = [&memory](uint32_t addr) {
+    // Word reads wrap within the 16-bit space, mirroring Bus::raw_word;
+    // the decoder rejects instructions extending past 0xFFFF anyway, so
+    // wrapped values never reach an executed instruction.
+    return static_cast<uint16_t>(
+        memory[addr & 0xFFFF] |
+        (static_cast<uint16_t>(memory[(addr + 1) & 0xFFFF]) << 8));
+  };
+
+  tables_.reserve(ranges.size());
+  for (const Range& range : ranges) {
+    RangeTable table;
+    table.first = range.first & 0xFFFE;
+    table.last = range.last;
+    table.entries.resize((static_cast<size_t>(table.last - table.first) >> 1) + 1);
+    for (uint32_t pc = table.first; pc <= table.last; pc += 2) {
+      std::array<uint16_t, 3> words = {word_at(pc), word_at(pc + 2),
+                                       word_at(pc + 4)};
+      auto decoded = decode(words, static_cast<uint16_t>(pc));
+      if (!decoded) continue;  // entry stays size_words == 0 (illegal)
+      Entry& entry = table.entries[(pc - table.first) >> 1];
+      entry.insn = decoded->insn;
+      entry.next_address = decoded->next_address();
+      entry.size_words = decoded->size_words;
+      entry.cycles = static_cast<uint8_t>(instruction_cycles(decoded->insn));
+      entry.control_transfer = is_control_transfer(decoded->insn);
+      ++decoded_count_;
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+size_t DecodedImage::slot_count() const {
+  size_t n = 0;
+  for (const RangeTable& t : tables_) n += t.entries.size();
+  return n;
+}
+
+}  // namespace eilid::isa

@@ -1,0 +1,84 @@
+// Predecoded ROM image: a PC-indexed table of fully decoded
+// instructions, built once per build and shared (read-only) by every
+// simulated device flashed with that image.
+//
+// Rationale: CASU guarantees ROM/PMEM immutability at run time, so the
+// per-step `isa::decode()` the interpretive core pays on every retired
+// instruction can be hoisted to build time -- the same offline/online
+// split CFI CaRE and OAT use to keep their runtime monitors cheap. The
+// simulator consults the table for PCs inside the predecoded ranges and
+// falls back to interpretive decode elsewhere (or after a write lands
+// in the code range -- see Bus::code_generation()).
+#ifndef EILID_ISA_DECODED_IMAGE_H
+#define EILID_ISA_DECODED_IMAGE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/decoder.h"
+
+namespace eilid::isa {
+
+// True when executing `insn` can set PC to anything other than the
+// fall-through address: jumps, call/reti, and PC-destination ALU ops
+// (br/ret are mov-to-PC after emulated-mnemonic expansion).
+bool is_control_transfer(const Instruction& insn);
+
+class DecodedImage {
+ public:
+  struct Entry {
+    Instruction insn;
+    uint16_t next_address = 0;  // fall-through (address + 2 * size_words)
+    uint8_t size_words = 0;     // 0: bytes at this pc are not a legal
+                                // instruction (authoritative illegal)
+    uint8_t cycles = 0;         // isa::instruction_cycles(insn)
+    bool control_transfer = false;
+  };
+
+  // Inclusive code region to predecode; `first`/`last` must be even.
+  struct Range {
+    uint16_t first;
+    uint16_t last;
+  };
+
+  // `memory` is a full 64 KiB address-space snapshot (the flashed image
+  // over zero-filled backing store, exactly what a freshly loaded
+  // device's memory holds). Every even address in every range is
+  // decoded; extension words are read from the snapshot wherever they
+  // land.
+  DecodedImage(std::span<const uint8_t> memory, std::span<const Range> ranges);
+
+  // Entry for the instruction starting at `pc`, or nullptr when pc is
+  // outside every predecoded range (the caller must decode
+  // interpretively). A non-null entry with size_words == 0 means the
+  // bytes at pc do not decode -- an illegal-instruction trap, no
+  // interpretive retry needed.
+  const Entry* lookup(uint16_t pc) const {
+    for (const RangeTable& t : tables_) {
+      if (pc >= t.first && pc <= t.last) {
+        return &t.entries[static_cast<size_t>(pc - t.first) >> 1];
+      }
+    }
+    return nullptr;
+  }
+
+  // Number of addresses that decoded to a legal instruction.
+  size_t decoded_count() const { return decoded_count_; }
+  // Total predecoded slots across all ranges.
+  size_t slot_count() const;
+
+ private:
+  struct RangeTable {
+    uint16_t first;
+    uint16_t last;
+    std::vector<Entry> entries;  // one per even address in [first, last]
+  };
+
+  std::vector<RangeTable> tables_;
+  size_t decoded_count_ = 0;
+};
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_DECODED_IMAGE_H

@@ -66,9 +66,9 @@ constexpr Opcode kJumpOps[8] = {Opcode::kJnz, Opcode::kJz, Opcode::kJnc,
                                 Opcode::kJc,  Opcode::kJn, Opcode::kJge,
                                 Opcode::kJl,  Opcode::kJmp};
 
-}  // namespace
-
-std::optional<Decoded> decode(std::array<uint16_t, 3> words, uint16_t address) {
+// Core decode, before the off-the-top-of-memory check in decode().
+std::optional<Decoded> decode_impl(std::array<uint16_t, 3> words,
+                                   uint16_t address) {
   const uint16_t w = words[0];
   const uint16_t top = static_cast<uint16_t>(w >> 12);
 
@@ -137,6 +137,21 @@ std::optional<Decoded> decode(std::array<uint16_t, 3> words, uint16_t address) {
   }
 
   return std::nullopt;  // 0x0xxx and 0x14xx..0x1Fxx are unassigned
+}
+
+}  // namespace
+
+std::optional<Decoded> decode(std::array<uint16_t, 3> words, uint16_t address) {
+  auto out = decode_impl(words, address);
+  // An instruction whose extension words would lie past the top of the
+  // 16-bit address space is illegal: fetching them would wrap through
+  // address 0 and decode unrelated bytes. (An instruction *ending*
+  // exactly at 0x10000 is fine; only its fall-through wraps, which is
+  // architectural PC arithmetic.)
+  if (out && static_cast<uint32_t>(address) + 2u * out->size_words > 0x10000u) {
+    return std::nullopt;
+  }
+  return out;
 }
 
 }  // namespace eilid::isa

@@ -1,17 +1,13 @@
 #include "sim/bus.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.h"
 
 namespace eilid::sim {
 
 Bus::Bus() = default;
-
-Peripheral* Bus::peripheral_at(uint16_t addr) const {
-  for (auto* p : peripherals_) {
-    if (addr >= p->first_addr() && addr <= p->last_addr()) return p;
-  }
-  return nullptr;
-}
 
 void Bus::add_peripheral(Peripheral* peripheral) {
   for (auto* existing : peripherals_) {
@@ -20,7 +16,14 @@ void Bus::add_peripheral(Peripheral* peripheral) {
       throw ConfigError("peripheral address ranges overlap");
     }
   }
+  if (peripheral->last_addr() > kPeriphEnd) {
+    throw ConfigError("peripheral range extends past the peripheral space");
+  }
   peripherals_.push_back(peripheral);
+  for (uint32_t a = peripheral->first_addr(); a <= peripheral->last_addr(); ++a) {
+    periph_map_[a] = peripheral;
+  }
+  irq_dirty_ = true;
 }
 
 bool Bus::check_read(uint16_t addr, uint16_t pc) {
@@ -43,48 +46,7 @@ bool Bus::check_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc) {
   return true;
 }
 
-uint16_t Bus::read_word(uint16_t addr, uint16_t pc) {
-  addr &= 0xFFFE;  // word accesses are even-aligned (LSB ignored, as in hw)
-  if (!check_read(addr, pc)) return 0xFFFF;
-  if (is_periph(addr)) {
-    if (auto* p = peripheral_at(addr)) return p->read(addr);
-    return 0;
-  }
-  return raw_word(addr);
-}
-
-uint8_t Bus::read_byte(uint16_t addr, uint16_t pc) {
-  if (!check_read(addr, pc)) return 0xFF;
-  if (is_periph(addr)) {
-    if (auto* p = peripheral_at(addr)) {
-      uint16_t v = p->read(addr & 0xFFFE);
-      return (addr & 1) ? static_cast<uint8_t>(v >> 8) : static_cast<uint8_t>(v);
-    }
-    return 0;
-  }
-  return mem_[addr];
-}
-
-void Bus::write_word(uint16_t addr, uint16_t value, uint16_t pc) {
-  addr &= 0xFFFE;
-  if (!check_write(addr, value, /*byte=*/false, pc)) return;
-  if (is_periph(addr)) {
-    if (auto* p = peripheral_at(addr)) p->write(addr, value);
-    return;
-  }
-  raw_store_word(addr, value);
-}
-
-void Bus::write_byte(uint16_t addr, uint8_t value, uint16_t pc) {
-  if (!check_write(addr, value, /*byte=*/true, pc)) return;
-  if (is_periph(addr)) {
-    if (auto* p = peripheral_at(addr & 0xFFFE)) p->write(addr & 0xFFFE, value);
-    return;
-  }
-  mem_[addr] = value;
-}
-
-bool Bus::notify_fetch(uint16_t pc) {
+bool Bus::notify_fetch_slow(uint16_t pc) {
   for (auto* w : watchers_) {
     if (!w->on_fetch(pc)) {
       access_denied_ = true;
@@ -94,23 +56,39 @@ bool Bus::notify_fetch(uint16_t pc) {
   return true;
 }
 
-uint16_t Bus::raw_word(uint16_t addr) const {
-  addr &= 0xFFFE;
-  return static_cast<uint16_t>(mem_[addr] |
-                               (static_cast<uint16_t>(mem_[addr + 1]) << 8));
+uint16_t Bus::periph_read_word(uint16_t addr) {
+  irq_dirty_ = true;  // register reads can move irq state (rx consume)
+  if (auto* p = peripheral_at(addr)) return p->read(addr);
+  return 0;
 }
 
-void Bus::raw_store_word(uint16_t addr, uint16_t value) {
-  addr &= 0xFFFE;
-  mem_[addr] = static_cast<uint8_t>(value);
-  mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+uint8_t Bus::periph_read_byte(uint16_t addr) {
+  irq_dirty_ = true;
+  if (auto* p = peripheral_at(addr)) {
+    uint16_t v = p->read(addr & 0xFFFE);
+    return (addr & 1) ? static_cast<uint8_t>(v >> 8) : static_cast<uint8_t>(v);
+  }
+  return 0;
 }
 
-void Bus::tick_peripherals(uint64_t cycles) {
-  for (auto* p : peripherals_) p->tick(cycles);
+void Bus::periph_write(uint16_t addr, uint16_t value) {
+  irq_dirty_ = true;  // register writes can enable/clear irq sources
+  if (auto* p = peripheral_at(addr)) p->write(addr, value);
 }
 
-int Bus::pending_irq() const {
+void Bus::raw_store_bytes(uint16_t addr, std::span<const uint8_t> bytes) {
+  if (bytes.empty()) return;
+  const size_t until_top = static_cast<size_t>(0x10000 - addr);
+  const size_t head = std::min(bytes.size(), until_top);
+  std::memcpy(mem_.data() + addr, bytes.data(), head);
+  if (head < bytes.size()) {  // wrap through address 0, as the old loop did
+    std::memcpy(mem_.data(), bytes.data() + head, bytes.size() - head);
+  }
+  const uint32_t last = addr + static_cast<uint32_t>(bytes.size()) - 1;
+  if (last >= kRomStart || head < bytes.size()) ++code_generation_;
+}
+
+int Bus::compute_pending_irq() const {
   int best = -1;
   for (auto* p : peripherals_) {
     int line = p->pending_irq();
@@ -120,6 +98,7 @@ int Bus::pending_irq() const {
 }
 
 void Bus::ack_irq(int line) {
+  irq_dirty_ = true;
   for (auto* p : peripherals_) {
     if (p->pending_irq() == line) {
       p->ack_irq();
@@ -129,12 +108,13 @@ void Bus::ack_irq(int line) {
 }
 
 void Bus::reset_peripherals() {
+  irq_dirty_ = true;
   for (auto* p : peripherals_) p->reset();
 }
 
 void Bus::wipe_volatile() {
-  for (uint32_t a = kRamStart; a <= kRamEnd; ++a) mem_[a] = 0;
-  for (uint32_t a = kSecureRamStart; a <= kSecureRamEnd; ++a) mem_[a] = 0;
+  std::fill(mem_.begin() + kRamStart, mem_.begin() + kRamEnd + 1, 0);
+  std::fill(mem_.begin() + kSecureRamStart, mem_.begin() + kSecureRamEnd + 1, 0);
 }
 
 }  // namespace eilid::sim

@@ -5,11 +5,20 @@
 // see every CPU access before it commits and may deny it; a denied
 // write never lands (this is how CASU guarantees PMEM immutability --
 // the violating store is suppressed and the device resets).
+//
+// Hot-path layout: the common case (no watchers, plain memory access)
+// is fully inlined; watcher checks and peripheral dispatch are the
+// out-of-line slow path. Peripheral dispatch is an O(1) per-address
+// table rather than a linear range scan, and pending_irq() is cached
+// and recomputed only when something that can change an interrupt line
+// actually happened (a tick that moved irq state, an ack, a peripheral
+// register access, a reset).
 #ifndef EILID_SIM_BUS_H
 #define EILID_SIM_BUS_H
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/memory_map.h"
@@ -25,8 +34,13 @@ class Peripheral {
   virtual uint16_t read(uint16_t addr) = 0;
   virtual void write(uint16_t addr, uint16_t value) = 0;
 
-  // Advance the peripheral's clock by `cycles` CPU cycles.
-  virtual void tick(uint64_t cycles) { (void)cycles; }
+  // Advance the peripheral's clock by `cycles` CPU cycles. Returns
+  // true when the tick may have changed this peripheral's interrupt
+  // line (the bus uses this to keep its pending_irq() cache exact).
+  virtual bool tick(uint64_t cycles) {
+    (void)cycles;
+    return false;
+  }
 
   // Asserted interrupt line (vector index), or -1.
   virtual int pending_irq() const { return -1; }
@@ -73,45 +87,134 @@ class Bus {
   // `pc` attributes the access to the currently executing instruction.
   // Denied reads return 0xFFFF; denied writes are dropped. Either sets
   // access_denied() until cleared.
-  uint16_t read_word(uint16_t addr, uint16_t pc);
-  uint8_t read_byte(uint16_t addr, uint16_t pc);
-  void write_word(uint16_t addr, uint16_t value, uint16_t pc);
-  void write_byte(uint16_t addr, uint8_t value, uint16_t pc);
+  uint16_t read_word(uint16_t addr, uint16_t pc) {
+    addr &= 0xFFFE;  // word accesses are even-aligned (LSB ignored, as in hw)
+    if (!watchers_.empty() && !check_read(addr, pc)) return 0xFFFF;
+    if (is_periph(addr)) return periph_read_word(addr);
+    return raw_word(addr);
+  }
+  uint8_t read_byte(uint16_t addr, uint16_t pc) {
+    if (!watchers_.empty() && !check_read(addr, pc)) return 0xFF;
+    if (is_periph(addr)) return periph_read_byte(addr);
+    return mem_[addr];
+  }
+  void write_word(uint16_t addr, uint16_t value, uint16_t pc) {
+    addr &= 0xFFFE;
+    if (!watchers_.empty() && !check_write(addr, value, /*byte=*/false, pc)) {
+      return;
+    }
+    if (is_periph(addr)) {
+      periph_write(addr, value);
+      return;
+    }
+    note_code_store(addr);
+    mem_[addr] = static_cast<uint8_t>(value);
+    mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+  }
+  void write_byte(uint16_t addr, uint8_t value, uint16_t pc) {
+    if (!watchers_.empty() && !check_write(addr, value, /*byte=*/true, pc)) {
+      return;
+    }
+    if (is_periph(addr)) {
+      periph_write(addr & 0xFFFE, value);
+      return;
+    }
+    note_code_store(addr);
+    mem_[addr] = value;
+  }
 
   // Instruction-fetch notification; false if a watcher denied it.
-  bool notify_fetch(uint16_t pc);
+  bool notify_fetch(uint16_t pc) {
+    return watchers_.empty() || notify_fetch_slow(pc);
+  }
 
   bool access_denied() const { return access_denied_; }
   void clear_access_denied() { access_denied_ = false; }
 
   // --- Raw accesses (image loading, decode, host inspection). ---
   // No watchers, no peripherals: backing memory only.
-  uint16_t raw_word(uint16_t addr) const;
+  uint16_t raw_word(uint16_t addr) const {
+    addr &= 0xFFFE;
+    return static_cast<uint16_t>(
+        mem_[addr] | (static_cast<uint16_t>(mem_[addr + 1]) << 8));
+  }
   uint8_t raw_byte(uint16_t addr) const { return mem_[addr]; }
-  void raw_store_word(uint16_t addr, uint16_t value);
-  void raw_store_byte(uint16_t addr, uint8_t value) { mem_[addr] = value; }
+  void raw_store_word(uint16_t addr, uint16_t value) {
+    addr &= 0xFFFE;
+    note_code_store(addr);
+    mem_[addr] = static_cast<uint8_t>(value);
+    mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+  }
+  void raw_store_byte(uint16_t addr, uint8_t value) {
+    note_code_store(addr);
+    mem_[addr] = value;
+  }
+  // Bulk image load (wraps at the top of the address space like the
+  // byte-at-a-time loop it replaces).
+  void raw_store_bytes(uint16_t addr, std::span<const uint8_t> bytes);
+
+  // Monotonic counter of stores that landed at or above the code floor
+  // (secure ROM, the unmapped gap, and PMEM). A predecoded image
+  // snapshot is valid only while this counter holds the value it had
+  // when the image was attached; any later code store invalidates it
+  // and the CPU falls back to interpretive decode (see Cpu::step).
+  uint64_t code_generation() const { return code_generation_; }
 
   // --- Wiring. ---
   void add_watcher(BusWatcher* watcher) { watchers_.push_back(watcher); }
   void add_peripheral(Peripheral* peripheral);
-  void tick_peripherals(uint64_t cycles);
-  int pending_irq() const;  // highest-priority asserted line, or -1
+  void tick_peripherals(uint64_t cycles) {
+    bool irq_moved = false;
+    for (auto* p : peripherals_) irq_moved |= p->tick(cycles);
+    if (irq_moved) irq_dirty_ = true;
+  }
+  // Highest-priority asserted line, or -1. Cached: recomputed only
+  // after something that can move an interrupt line (tick/ack/register
+  // access/reset) -- or after invalidate_irq_cache().
+  int pending_irq() const {
+    if (irq_dirty_) {
+      irq_cache_ = compute_pending_irq();
+      irq_dirty_ = false;
+    }
+    return irq_cache_;
+  }
   void ack_irq(int line);
   void reset_peripherals();
+  // Force the next pending_irq() to recompute. Machine::run calls this
+  // on entry so host-side stimulus injected between runs (Uart::feed
+  // and friends bypass the bus) is observed immediately.
+  void invalidate_irq_cache() { irq_dirty_ = true; }
 
   // Zero RAM and secure RAM (CASU reset wipes volatile state; PMEM and
   // ROM persist).
   void wipe_volatile();
 
  private:
-  Peripheral* peripheral_at(uint16_t addr) const;
+  Peripheral* peripheral_at(uint16_t addr) const {
+    return addr <= kPeriphEnd ? periph_map_[addr] : nullptr;
+  }
   bool check_read(uint16_t addr, uint16_t pc);
   bool check_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc);
+  bool notify_fetch_slow(uint16_t pc);
+  uint16_t periph_read_word(uint16_t addr);
+  uint8_t periph_read_byte(uint16_t addr);
+  void periph_write(uint16_t addr, uint16_t value);
+  int compute_pending_irq() const;
+  // Everything at or above the secure ROM can hold code reachable by a
+  // predecoded range's extension-word reads; stores below it are plain
+  // data traffic and never touch the decode cache.
+  void note_code_store(uint16_t addr) {
+    if (addr >= kRomStart) ++code_generation_;
+  }
 
   std::array<uint8_t, 0x10000> mem_{};
   std::vector<BusWatcher*> watchers_;
   std::vector<Peripheral*> peripherals_;
+  std::array<Peripheral*, kPeriphEnd + 1> periph_map_{};
   bool access_denied_ = false;
+  uint64_t code_generation_ = 0;
+  mutable bool irq_dirty_ = true;
+  mutable int irq_cache_ = -1;
 };
 
 }  // namespace eilid::sim

@@ -318,48 +318,88 @@ void Cpu::exec_jump(const isa::Decoded& decoded) {
   if (taken) regs_[isa::kPC] = decoded.jump_target();
 }
 
+std::optional<isa::Decoded> Cpu::interpret_decode(uint16_t pc) const {
+  // Raw reads for decode: extension words are part of the instruction
+  // stream, already vetted by the fetch check in step().
+  std::array<uint16_t, 3> words = {
+      bus_.raw_word(pc), bus_.raw_word(static_cast<uint16_t>(pc + 2)),
+      bus_.raw_word(static_cast<uint16_t>(pc + 4))};
+  return isa::decode(words, pc);
+}
+
 StepOutcome Cpu::step() {
   StepOutcome out;
   cur_pc_ = regs_[isa::kPC];
   out.pc = cur_pc_;
+  out.next_pc = cur_pc_;
 
   bus_.clear_access_denied();
+
+  // Predecoded fast path: valid while no store has landed in the code
+  // range since the image was attached (CASU-enforced devices never
+  // invalidate; a kNone device that rewrites its code falls back to
+  // interpretive decode below and stays architecturally correct).
+  const isa::DecodedImage::Entry* entry = nullptr;
+  if (image_ != nullptr && bus_.code_generation() == image_generation_) {
+    entry = image_->lookup(cur_pc_);
+  }
+
   if (!bus_.notify_fetch(cur_pc_)) {
     out.status = StepStatus::kDenied;
+    // Monitors still receive the fall-through of the instruction that
+    // *would* have executed (matches the pre-refactor monitors, which
+    // re-decoded from memory regardless of the deny).
+    if (entry != nullptr) {
+      if (entry->size_words != 0) out.next_pc = entry->next_address;
+    } else if (auto d = interpret_decode(cur_pc_)) {
+      out.next_pc = d->next_address();
+    }
     return out;
   }
 
-  // Raw reads for decode: extension words are part of the instruction
-  // stream, already vetted by the fetch check above.
-  std::array<uint16_t, 3> words = {
-      bus_.raw_word(cur_pc_),
-      bus_.raw_word(static_cast<uint16_t>(cur_pc_ + 2)),
-      bus_.raw_word(static_cast<uint16_t>(cur_pc_ + 4))};
-  auto decoded = isa::decode(words, cur_pc_);
-  if (!decoded) {
-    out.status = StepStatus::kIllegal;
-    out.cycles = 1;
-    return out;
+  isa::Decoded decoded;
+  unsigned cycles;
+  if (entry != nullptr) {
+    if (entry->size_words == 0) {  // authoritative illegal encoding
+      out.status = StepStatus::kIllegal;
+      out.cycles = 1;
+      return out;
+    }
+    decoded.insn = entry->insn;
+    decoded.address = cur_pc_;
+    decoded.size_words = entry->size_words;
+    cycles = entry->cycles;
+    ++decode_cache_hits_;
+  } else {
+    auto d = interpret_decode(cur_pc_);
+    if (!d) {
+      out.status = StepStatus::kIllegal;
+      out.cycles = 1;
+      return out;
+    }
+    decoded = *d;
+    cycles = isa::instruction_cycles(decoded.insn);
+    ++decode_cache_misses_;
   }
 
   // PC advances past the full instruction before execution (so that
   // pushes/branches observe the return/next address).
-  regs_[isa::kPC] = decoded->next_address();
+  regs_[isa::kPC] = out.next_pc = decoded.next_address();
 
-  const auto& info = isa::opcode_info(decoded->insn.op);
+  const auto& info = isa::opcode_info(decoded.insn.op);
   switch (info.format) {
     case isa::Format::kDouble:
-      exec_double(decoded->insn);
+      exec_double(decoded.insn);
       break;
     case isa::Format::kSingle:
-      exec_single(decoded->insn, cur_pc_);
+      exec_single(decoded.insn, cur_pc_);
       break;
     case isa::Format::kJump:
-      exec_jump(*decoded);
+      exec_jump(decoded);
       break;
   }
 
-  out.cycles = isa::instruction_cycles(decoded->insn);
+  out.cycles = cycles;
   ++instructions_retired_;
   if (bus_.access_denied()) {
     out.status = StepStatus::kDenied;

@@ -9,7 +9,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <optional>
 
+#include "isa/decoded_image.h"
 #include "isa/decoder.h"
 #include "isa/registers.h"
 #include "sim/bus.h"
@@ -26,6 +29,10 @@ struct StepOutcome {
   StepStatus status = StepStatus::kOk;
   unsigned cycles = 0;
   uint16_t pc = 0;  // address of the instruction that executed (or faulted)
+  // Fall-through address of the decoded instruction (pc when nothing
+  // decoded). Monitors compare this against the PC after the step to
+  // spot control transfers without re-decoding.
+  uint16_t next_pc = 0;
 };
 
 class Cpu {
@@ -37,6 +44,24 @@ class Cpu {
 
   // Execute a single instruction.
   StepOutcome step();
+
+  // Attach a predecoded image built from the bytes currently flashed.
+  // The CPU consults it for PCs inside its ranges and falls back to
+  // interpretive decode elsewhere. The attachment is valid only while
+  // no store lands in the code range: the bus's code-generation
+  // counter is snapshotted here and checked every step, so a device
+  // that scribbles on its own code (possible under kNone) re-decodes
+  // from memory and stays architecturally correct.
+  void set_decoded_image(std::shared_ptr<const isa::DecodedImage> image) {
+    image_ = std::move(image);
+    image_generation_ = bus_.code_generation();
+  }
+  const isa::DecodedImage* decoded_image() const { return image_.get(); }
+  bool decode_cache_valid() const {
+    return image_ != nullptr && bus_.code_generation() == image_generation_;
+  }
+  uint64_t decode_cache_hits() const { return decode_cache_hits_; }
+  uint64_t decode_cache_misses() const { return decode_cache_misses_; }
 
   // Hardware interrupt entry: push PC and SR, clear SR (except SCG0),
   // load the handler address from the vector table. Returns cycles.
@@ -60,6 +85,9 @@ class Cpu {
     uint16_t ea = 0;
   };
 
+  // Interpretive decode of the instruction at `pc` from backing memory.
+  std::optional<isa::Decoded> interpret_decode(uint16_t pc) const;
+
   uint16_t read_src(const isa::Operand& op, bool byte);
   DstRef resolve_dst(const isa::Operand& op);
   uint16_t read_at(const DstRef& ref, bool byte);
@@ -80,6 +108,10 @@ class Cpu {
   std::array<uint16_t, isa::kNumRegs> regs_{};
   uint16_t cur_pc_ = 0;  // pc of the executing instruction (bus attribution)
   uint64_t instructions_retired_ = 0;
+  std::shared_ptr<const isa::DecodedImage> image_;
+  uint64_t image_generation_ = 0;
+  uint64_t decode_cache_hits_ = 0;
+  uint64_t decode_cache_misses_ = 0;
 };
 
 }  // namespace eilid::sim

@@ -22,9 +22,12 @@ void Machine::add_monitor(Monitor* monitor) {
 }
 
 void Machine::load(uint16_t addr, std::span<const uint8_t> bytes) {
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    bus_.raw_store_byte(static_cast<uint16_t>(addr + i), bytes[i]);
-  }
+  bus_.raw_store_bytes(addr, bytes);
+}
+
+void Machine::attach_decoded_image(
+    std::shared_ptr<const isa::DecodedImage> image) {
+  cpu_.set_decoded_image(std::move(image));
 }
 
 void Machine::power_on() {
@@ -92,7 +95,7 @@ bool Machine::step_once() {
   StepOutcome outcome = cpu_.step();
   cycles_ += outcome.cycles;
   bus_.tick_peripherals(outcome.cycles);
-  for (auto* m : monitors_) m->on_step(outcome.pc, cpu_.pc());
+  for (auto* m : monitors_) m->on_step(outcome.pc, cpu_.pc(), outcome.next_pc);
 
   if (outcome.status == StepStatus::kIllegal) {
     do_reset(ResetReason::kIllegalInstruction, outcome.pc);
@@ -117,6 +120,9 @@ RunResult Machine::run(uint64_t max_cycles) {
 
 RunResult Machine::run_until(uint16_t breakpoint_pc, uint64_t max_cycles) {
   RunResult result;
+  // Host stimulus injected since the last run (Uart::feed, ADC series,
+  // GPIO inputs) bypasses the bus; make the irq cache observe it.
+  bus_.invalidate_irq_cache();
   uint64_t start = cycles_;
   while (cycles_ - start < max_cycles) {
     if (cpu_.pc() == breakpoint_pc && !cpu_.cpu_off()) {

@@ -51,6 +51,13 @@ class Machine {
   // Copy raw bytes into backing memory (image loading).
   void load(uint16_t addr, std::span<const uint8_t> bytes);
 
+  // Attach a predecoded image matching the bytes currently flashed
+  // (call after every load). The CPU skips interpretive decode for PCs
+  // the image covers until a store lands in the code range (see
+  // Bus::code_generation()). Shared fleet-wide: all devices flashed
+  // from one build point at one immutable table.
+  void attach_decoded_image(std::shared_ptr<const isa::DecodedImage> image);
+
   // Power-on: reset CPU from the vector table, notify monitors.
   void power_on();
 

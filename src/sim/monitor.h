@@ -38,9 +38,15 @@ class Monitor : public BusWatcher {
   }
 
   // Fired after each retired instruction with the PC transition.
-  virtual void on_step(uint16_t from_pc, uint16_t to_pc) {
+  // `fallthrough` is the already-decoded fall-through address of the
+  // instruction at from_pc (== from_pc when nothing decoded): a step
+  // with to_pc != fallthrough is a control transfer, so monitors spot
+  // transfers by comparing two integers instead of re-decoding the
+  // instruction stream.
+  virtual void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) {
     (void)from_pc;
     (void)to_pc;
+    (void)fallthrough;
   }
 };
 

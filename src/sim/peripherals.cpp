@@ -39,8 +39,9 @@ void TimerA::write(uint16_t addr, uint16_t value) {
   }
 }
 
-void TimerA::tick(uint64_t cycles) {
-  if ((ctl_ & 0x1) == 0) return;
+bool TimerA::tick(uint64_t cycles) {
+  if ((ctl_ & 0x1) == 0) return false;
+  const bool was_latched = irq_latched_;
   unsigned shift = 3u * ((ctl_ >> 4) & 0x3);  // /1, /8, /64, /512
   sub_cycles_ += cycles;
   uint64_t steps = sub_cycles_ >> shift;
@@ -52,6 +53,7 @@ void TimerA::tick(uint64_t cycles) {
       if (ctl_ & 0x2) irq_latched_ = true;
     }
   }
+  return irq_latched_ != was_latched;
 }
 
 int TimerA::pending_irq() const { return irq_latched_ ? irq::kTimer : -1; }
@@ -95,8 +97,8 @@ void Adc::write(uint16_t addr, uint16_t value) {
   }
 }
 
-void Adc::tick(uint64_t cycles) {
-  if (!busy_) return;
+bool Adc::tick(uint64_t cycles) {
+  if (!busy_) return false;
   if (cycles >= remaining_) {
     busy_ = false;
     done_ = true;
@@ -111,6 +113,7 @@ void Adc::tick(uint64_t cycles) {
   } else {
     remaining_ -= cycles;
   }
+  return false;  // the ADC has no interrupt line
 }
 
 void Adc::reset() {
@@ -217,14 +220,15 @@ void Ultrasonic::write(uint16_t addr, uint16_t value) {
   }
 }
 
-void Ultrasonic::tick(uint64_t cycles) {
-  if (!busy_) return;
+bool Ultrasonic::tick(uint64_t cycles) {
+  if (!busy_) return false;
   if (cycles >= remaining_) {
     busy_ = false;
     ready_ = true;
   } else {
     remaining_ -= cycles;
   }
+  return false;  // the ranger has no interrupt line
 }
 
 void Ultrasonic::reset() {

@@ -20,7 +20,7 @@ class TimerA : public Peripheral {
  public:
   uint16_t read(uint16_t addr) override;
   void write(uint16_t addr, uint16_t value) override;
-  void tick(uint64_t cycles) override;
+  bool tick(uint64_t cycles) override;
   int pending_irq() const override;
   void ack_irq() override { irq_latched_ = false; }
   void reset() override;
@@ -49,7 +49,7 @@ class Adc : public Peripheral {
 
   uint16_t read(uint16_t addr) override;
   void write(uint16_t addr, uint16_t value) override;
-  void tick(uint64_t cycles) override;
+  bool tick(uint64_t cycles) override;
   void reset() override;
   uint16_t first_addr() const override { return mmio::kAdcCtl; }
   uint16_t last_addr() const override { return mmio::kAdcStat; }
@@ -77,7 +77,10 @@ class GpioPort : public Peripheral {
 
   uint16_t read(uint16_t addr) override;
   void write(uint16_t addr, uint16_t value) override;
-  void tick(uint64_t cycles) override { now_ += cycles; }
+  bool tick(uint64_t cycles) override {
+    now_ += cycles;
+    return false;
+  }
   void reset() override;
   uint16_t first_addr() const override { return in_addr_; }
   uint16_t last_addr() const override { return dir_addr_; }
@@ -143,7 +146,7 @@ class Ultrasonic : public Peripheral {
 
   uint16_t read(uint16_t addr) override;
   void write(uint16_t addr, uint16_t value) override;
-  void tick(uint64_t cycles) override;
+  bool tick(uint64_t cycles) override;
   void reset() override;
   uint16_t first_addr() const override { return mmio::kUsTrig; }
   uint16_t last_addr() const override { return mmio::kUsStat; }

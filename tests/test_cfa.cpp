@@ -44,7 +44,7 @@ TEST(Cfa, LegalRunVerifiesAcrossReports) {
   const auto& app = apps::app_by_name("temp_sensor");
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {.log_capacity = 1u << 16});
+  CfaMonitor monitor(key(), {.log_capacity = 1u << 16});
   device.machine().add_monitor(&monitor);
   app.setup(device.machine());
   CfaVerifier verifier(extract_cfg(build.app), key());
@@ -64,7 +64,7 @@ TEST(Cfa, LegalIsrRunVerifies) {
   const auto& app = apps::app_by_name("light_sensor");
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {.log_capacity = 1u << 16});
+  CfaMonitor monitor(key(), {.log_capacity = 1u << 16});
   device.machine().add_monitor(&monitor);
   app.setup(device.machine());
   device.run_to_symbol("halt", 8 * app.cycle_budget);
@@ -83,7 +83,7 @@ TEST(Cfa, HijackDetectedInReplay) {
   const auto& app = apps::vuln_gateway();
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {.log_capacity = 1u << 16});
+  CfaMonitor monitor(key(), {.log_capacity = 1u << 16});
   device.machine().add_monitor(&monitor);
   uint16_t unlock = device.symbol("unlock");
   device.machine().uart().feed(attacks::overflow_ret_payload(unlock));
@@ -102,7 +102,7 @@ TEST(Cfa, TamperedReportFailsMac) {
   const auto& app = apps::app_by_name("temp_sensor");
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {});
+  CfaMonitor monitor(key(), {});
   device.machine().add_monitor(&monitor);
   app.setup(device.machine());
   device.machine().run(3000);
@@ -118,7 +118,7 @@ TEST(Cfa, WrongNonceFailsMac) {
   const auto& app = apps::app_by_name("temp_sensor");
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {});
+  CfaMonitor monitor(key(), {});
   device.machine().add_monitor(&monitor);
   device.machine().run(2000);
   Report report = monitor.take_report(8, device.machine().cycles());
@@ -130,7 +130,7 @@ TEST(Cfa, OverflowDropsAreCounted) {
   const auto& app = apps::app_by_name("charlieplexing");
   auto build = plain_build(app);
   core::Device device(build);
-  CfaMonitor monitor(device.machine().bus(), key(), {.log_capacity = 16});
+  CfaMonitor monitor(key(), {.log_capacity = 16});
   device.machine().add_monitor(&monitor);
   device.run_to_symbol("halt", 8 * app.cycle_budget);
   Report report = monitor.take_report(9, device.machine().cycles());
@@ -144,7 +144,7 @@ TEST(Cfa, ResetMarkerResynchronisesReplay) {
   const auto& app = apps::vuln_gateway();
   auto build = plain_build(app);
   core::Device device(build);  // reboots after reset
-  CfaMonitor monitor(device.machine().bus(), key(), {.log_capacity = 1u << 16});
+  CfaMonitor monitor(key(), {.log_capacity = 1u << 16});
   device.machine().add_monitor(&monitor);
   // Exploit redirecting into RAM: CASU W^X resets the device.
   device.machine().uart().feed(attacks::overflow_ret_payload(0x0300));

@@ -1,0 +1,249 @@
+// Predecoded-image layer: table construction, decode-cache coherence
+// (a kNone device that rewrites its own code must invalidate the table
+// and re-decode from memory with a bit-identical retired-instruction
+// trace), fleet-wide sharing of one table per build, and the
+// off-the-top-of-memory decode fix.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/apps.h"
+#include "eilid/fleet.h"
+#include "eilid/pipeline.h"
+#include "isa/decoded_image.h"
+#include "isa/encoder.h"
+#include "sim/monitor.h"
+
+namespace eilid {
+namespace {
+
+// Records every retired-instruction transition, fall-through included.
+class TraceMonitor : public sim::Monitor {
+ public:
+  struct Step {
+    uint16_t from, to, fallthrough;
+    bool operator==(const Step&) const = default;
+  };
+  void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) override {
+    steps_.push_back({from_pc, to_pc, fallthrough});
+  }
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+// A program that patches its own kernel: the first `call #kernel` runs
+// `inc r12`; the program then copies the word at SRCA (incd r13) over
+// the word at DSTA and calls the kernel again. Only correct decode
+// coherence yields r12 == 1 && r13 == 2: a stale predecoded entry
+// would execute `inc r12` twice.
+const char* kSelfPatchingSource = R"(.equ DSTA, 0xE080
+.equ SRCA, 0xE084
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #kernel
+    mov &SRCA, &DSTA
+    call #kernel
+halt:
+    jmp halt
+.org 0xE080
+kernel:
+    inc r12
+    ret
+    incd r13
+    ret
+.vector 15, main
+)";
+
+TEST(Decoder, RejectsInstructionRunningOffTopOfMemory) {
+  // mov #0x1234, r10 -- a two-word instruction.
+  isa::Instruction insn = isa::Instruction::double_op(
+      isa::Opcode::kMov, isa::Operand::make_imm(0x1234),
+      isa::Operand::make_reg(10));
+  auto enc = isa::encode(insn, 0xFFFC);
+  ASSERT_EQ(enc.size(), 2u);
+
+  std::array<uint16_t, 3> words = {enc[0], enc[1], 0};
+  // Ends exactly at the top of memory: legal.
+  EXPECT_TRUE(isa::decode(words, 0xFFFC).has_value());
+  // Its extension word would wrap through address 0: illegal.
+  EXPECT_FALSE(isa::decode(words, 0xFFFE).has_value());
+  // A one-word instruction at the very top stays legal.
+  isa::Instruction one_word = isa::Instruction::double_op(
+      isa::Opcode::kMov, isa::Operand::make_reg(4), isa::Operand::make_reg(5));
+  auto enc1 = isa::encode(one_word, 0xFFFE);
+  ASSERT_EQ(enc1.size(), 1u);
+  EXPECT_TRUE(isa::decode({enc1[0], 0, 0}, 0xFFFE).has_value());
+}
+
+TEST(DecodedImage, EntriesMatchInterpretiveDecode) {
+  core::BuildResult build = core::build_app(
+      apps::app_by_name("temp_sensor").source, "temp_sensor", {.eilid = false});
+  ASSERT_NE(build.decoded_image, nullptr);
+  const isa::DecodedImage& image = *build.decoded_image;
+  EXPECT_GT(image.decoded_count(), 0u);
+
+  // Every covered entry agrees with a fresh interpretive decode of the
+  // flashed bytes.
+  std::vector<uint8_t> flat(0x10000, 0);
+  for (const auto& chunk : build.app.image.chunks()) {
+    std::copy(chunk.data.begin(), chunk.data.end(), flat.begin() + chunk.base);
+  }
+  size_t checked = 0;
+  for (uint32_t pc = sim::kPmemStart; pc <= 0xFFFE; pc += 2) {
+    const auto* entry = image.lookup(static_cast<uint16_t>(pc));
+    ASSERT_NE(entry, nullptr);
+    auto word_at = [&flat](uint32_t a) {
+      return static_cast<uint16_t>(flat[a & 0xFFFF] |
+                                   (flat[(a + 1) & 0xFFFF] << 8));
+    };
+    auto ref = isa::decode({word_at(pc), word_at(pc + 2), word_at(pc + 4)},
+                           static_cast<uint16_t>(pc));
+    if (!ref) {
+      EXPECT_EQ(entry->size_words, 0) << "pc " << pc;
+      continue;
+    }
+    ASSERT_NE(entry->size_words, 0) << "pc " << pc;
+    EXPECT_EQ(entry->insn, ref->insn);
+    EXPECT_EQ(entry->size_words, ref->size_words);
+    EXPECT_EQ(entry->next_address, ref->next_address());
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+
+  // PCs outside every predecoded range force interpretive decode.
+  EXPECT_EQ(image.lookup(0x0300), nullptr);  // RAM
+  EXPECT_EQ(image.lookup(0x2000), nullptr);  // secure DMEM
+}
+
+TEST(DecodedImage, ControlTransferClassification) {
+  using isa::Instruction;
+  using isa::Opcode;
+  using isa::Operand;
+  EXPECT_TRUE(isa::is_control_transfer(Instruction::jump(Opcode::kJmp, 4)));
+  EXPECT_TRUE(isa::is_control_transfer(
+      Instruction::single(Opcode::kCall, Operand::make_imm(0xE000))));
+  EXPECT_TRUE(isa::is_control_transfer(
+      Instruction::single(Opcode::kReti, Operand::make_reg(0))));
+  // br #addr == mov #addr, pc
+  EXPECT_TRUE(isa::is_control_transfer(Instruction::double_op(
+      Opcode::kMov, Operand::make_imm(0xE000), Operand::make_reg(isa::kPC))));
+  EXPECT_FALSE(isa::is_control_transfer(Instruction::double_op(
+      Opcode::kAdd, Operand::make_reg(4), Operand::make_reg(5))));
+  EXPECT_FALSE(isa::is_control_transfer(
+      Instruction::single(Opcode::kPush, Operand::make_reg(isa::kPC))));
+}
+
+TEST(DecodedImage, ControlTransferFlagCoversEveryObservedTransfer) {
+  // Pin Entry.control_transfer to the runtime mechanism: every retired
+  // step that left the fall-through path must start at an instruction
+  // the table classified as a potential control transfer. (The
+  // converse need not hold -- an untaken conditional jump falls
+  // through.)
+  Fleet fleet;
+  const auto& app = apps::app_by_name("temp_sensor");
+  auto build = fleet.build(app.source, app.name, {.eilid = false});
+  DeviceSession& dev =
+      fleet.deploy("ct-flag", build, EnforcementPolicy::kCasu);
+  TraceMonitor trace;
+  dev.machine().add_monitor(&trace);
+  app.setup(dev.machine());
+  dev.run_to_symbol("halt", 8 * app.cycle_budget);
+
+  const isa::DecodedImage& image = *build->decoded_image;
+  size_t transfers = 0;
+  for (const auto& step : trace.steps()) {
+    if (step.to == step.fallthrough) continue;
+    ++transfers;
+    const auto* entry = image.lookup(step.from);
+    ASSERT_NE(entry, nullptr) << "pc " << step.from;
+    EXPECT_TRUE(entry->control_transfer) << "pc " << step.from;
+  }
+  EXPECT_GT(transfers, 0u);
+}
+
+TEST(Fleet, SessionsOfOneBuildShareOneDecodedImage) {
+  Fleet fleet;
+  const auto& app = apps::app_by_name("temp_sensor");
+  auto build = fleet.build(app.source, app.name, {.eilid = false});
+  ASSERT_NE(build->decoded_image, nullptr);
+  DeviceSession& a =
+      fleet.deploy("share-a", build, EnforcementPolicy::kCasu);
+  DeviceSession& b =
+      fleet.deploy("share-b", build, EnforcementPolicy::kCasu);
+  // One immutable table per build, shared by every session running it.
+  EXPECT_EQ(a.build().decoded_image.get(), b.build().decoded_image.get());
+  EXPECT_EQ(a.machine().cpu().decoded_image(), build->decoded_image.get());
+  EXPECT_EQ(b.machine().cpu().decoded_image(), build->decoded_image.get());
+}
+
+TEST(DecodedImage, SelfModifyingCodeInvalidatesAndRedecodes) {
+  auto build = std::make_shared<const core::BuildResult>(
+      core::build_app(kSelfPatchingSource, "selfpatch", {.eilid = false}));
+
+  auto run_one = [&](bool predecode, TraceMonitor& trace) -> DeviceSession* {
+    static int n = 0;
+    auto* session = new DeviceSession(
+        "selfmod-" + std::to_string(n++), build, EnforcementPolicy::kNone,
+        {.predecode = predecode});
+    session->machine().add_monitor(&trace);
+    auto result = session->run_to_symbol("halt", 10000);
+    EXPECT_EQ(result.cause, sim::StopCause::kBreakpoint);
+    return session;
+  };
+
+  TraceMonitor cached_trace;
+  TraceMonitor interp_trace;
+  std::unique_ptr<DeviceSession> cached(run_one(true, cached_trace));
+  std::unique_ptr<DeviceSession> interp(run_one(false, interp_trace));
+
+  // The patch must have taken effect on both: stale decode would leave
+  // r13 == 0 (and r12 == 2).
+  for (DeviceSession* s : {cached.get(), interp.get()}) {
+    EXPECT_EQ(s->machine().cpu().reg(12), 1) << s->id();
+    EXPECT_EQ(s->machine().cpu().reg(13), 2) << s->id();
+  }
+
+  // Bit-identical retired-instruction traces, fall-throughs included.
+  ASSERT_FALSE(cached_trace.steps().empty());
+  EXPECT_EQ(cached_trace.steps(), interp_trace.steps());
+
+  // The cached run really used the table before the patch and really
+  // abandoned it afterwards.
+  const sim::Cpu& cached_cpu = cached->machine().cpu();
+  EXPECT_GT(cached_cpu.decode_cache_hits(), 0u);
+  EXPECT_GT(cached_cpu.decode_cache_misses(), 0u);
+  EXPECT_FALSE(cached_cpu.decode_cache_valid());
+
+  const sim::Cpu& interp_cpu = interp->machine().cpu();
+  EXPECT_EQ(interp_cpu.decode_cache_hits(), 0u);
+}
+
+TEST(DecodedImage, CfaEvidenceIdenticalAcrossDecodePaths) {
+  // The zero-redecode monitor must log exactly the edges the
+  // re-decoding monitor used to, on both decode paths.
+  const auto& app = apps::app_by_name("charlieplexing");
+  auto run_one = [&](bool predecode) {
+    Fleet fleet;
+    DeviceSession& dev = fleet.deploy(
+        "cfa-trace",
+        fleet.build(app.source, app.name, {.eilid = false}),
+        EnforcementPolicy::kCfaBaseline,
+        {.cfa = {.log_capacity = 1u << 17}, .predecode = predecode});
+    app.setup(dev.machine());
+    dev.run_to_symbol("halt", 8 * app.cycle_budget);
+    return dev.cfa_monitor()->take_report(/*nonce=*/1,
+                                          dev.machine().cycles());
+  };
+  cfa::Report cached = run_one(true);
+  cfa::Report interp = run_one(false);
+  ASSERT_FALSE(cached.edges.empty());
+  EXPECT_EQ(cached.edges, interp.edges);
+  EXPECT_EQ(cached.dropped, interp.dropped);
+  EXPECT_EQ(cached.mac, interp.mac);  // same nonce, seq, edges, key
+}
+
+}  // namespace
+}  // namespace eilid
