@@ -1,12 +1,14 @@
-// CASU authenticated software update (the substrate EILID builds on):
-// PMEM is immutable except through MAC'd, version-monotonic update
-// packages. Shows a legitimate update changing the behaviour of a
-// fleet-provisioned device, a forged package being rejected (device
-// heals by reset), and rollback protection.
+// Fleet-native secure update campaign (CASU's authenticated update as
+// a build transition): a fleet of attested devices moves from firmware
+// v1 to v2 through Fleet::stage_update() -- per-device keys, per-device
+// anti-rollback versions, and a replay-CFG swap staged with the
+// verifier so the legitimate new code is NOT convicted as a hijack at
+// the next attestation. Also shows a forged package being rejected
+// (device heals by reset) and a captured old package being refused per
+// device.
 #include <cstdio>
 #include <vector>
 
-#include "src/casu/update.h"
 #include "src/eilid/fleet.h"
 
 using namespace eilid;
@@ -29,15 +31,6 @@ halt:
   return s;
 }
 
-std::vector<uint8_t> image_bytes(const masm::MemoryImage& image,
-                                 uint16_t base, size_t len) {
-  std::vector<uint8_t> out;
-  for (size_t i = 0; i < len; ++i) {
-    out.push_back(image.byte_at(static_cast<uint16_t>(base + i)));
-  }
-  return out;
-}
-
 char boot_and_read(DeviceSession& device) {
   device.machine().uart().clear_tx();
   device.power_cycle();
@@ -49,49 +42,76 @@ char boot_and_read(DeviceSession& device) {
 }  // namespace
 
 int main() {
-  std::vector<uint8_t> device_key(32, 0x5A);
-
   Fleet fleet;
-  DeviceSession& device = fleet.provision(
-      "field-unit", app_version('1'), "fw", EnforcementPolicy::kEilidHw);
-  casu::UpdateEngine engine(device_key, *device.hw_monitor());
+  // Three field units on firmware v1, attested by the fleet verifier.
+  // (kCfaBaseline provisions plain builds, so the campaign target is
+  // built with the same shape.)
+  for (const char* id : {"unit-a", "unit-b", "unit-c"}) {
+    fleet.provision(id, app_version('1'), "fw",
+                    EnforcementPolicy::kCfaBaseline);
+  }
+  for (auto* dev : fleet.sessions()) {
+    std::printf("boot v1: %s transmits '%c'\n", dev->id().c_str(),
+                boot_and_read(*dev));
+  }
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    std::printf("attest v1: %s %s\n", verdict.device_id.c_str(),
+                verdict.ok() ? "ok" : "FLAGGED?!");
+  }
 
-  std::printf("boot v1: device transmits '%c'\n", boot_and_read(device));
+  // Authority stages firmware v2 as a build transition; the campaign
+  // diffs the cached builds, MACs one package per device, stamps each
+  // with that device's next version, swaps the build and stages the
+  // verifier's CFG swap at the update boundary.
+  UpdateCampaign campaign =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false});
+  // Capture unit-a's real v2 package first, to replay it later.
+  casu::UpdatePackage captured = campaign.package_for(fleet.at("unit-a"));
+  for (const auto& outcome : campaign.roll_out()) {
+    std::printf("update %s: %s (v%u -> v%u, %zu bytes in %zu regions)\n",
+                outcome.device_id.c_str(),
+                std::string(update_result_name(outcome.result)).c_str(),
+                outcome.version_before, outcome.version_after,
+                outcome.payload_bytes, outcome.regions);
+  }
+  for (auto* dev : fleet.sessions()) {
+    std::printf("boot v2: %s transmits '%c'\n", dev->id().c_str(),
+                boot_and_read(*dev));
+  }
+  // The updated devices attest clean: the verifier replayed their
+  // pre-update evidence against the old CFG and their post-update
+  // evidence against the new one.
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    std::printf("attest v2: %s %s\n", verdict.device_id.c_str(),
+                verdict.ok() ? "ok" : "FLAGGED?!");
+  }
 
-  // Authority builds firmware v2 and a MAC'd package for it.
-  auto v2 = fleet.build(app_version('2'), "fw");
-  auto payload = image_bytes(v2->app.image, 0xE000, 64);
-  auto pkg = engine.make_package(0xE000, /*version=*/1, payload);
-  auto status = engine.apply(device.machine(), pkg);
-  std::printf("apply signed v2 package: %s\n",
-              status == casu::UpdateStatus::kApplied ? "applied" : "REJECTED");
-  std::printf("boot v2: device transmits '%c'\n", boot_and_read(device));
-
-  // A forged package (bit-flipped MAC) must be rejected and the device
-  // must heal (reset) rather than run tampered code.
-  auto forged = engine.make_package(0xE000, 2, payload);
+  // A forged package (the captured genuine v2 payload with a
+  // bit-flipped MAC) must be rejected and the device must heal (reset)
+  // rather than run tampered code.
+  DeviceSession& victim = fleet.at("unit-a");
+  casu::UpdatePackage forged = captured;
   forged.mac[0] ^= 0xFF;
-  status = engine.apply(device.machine(), forged);
+  auto status = victim.apply_update(forged);
   std::printf("apply forged package: %s\n",
               status == casu::UpdateStatus::kBadMac ? "rejected (bad MAC)"
                                                     : "ACCEPTED?!");
-  device.machine().run(100);  // the latched violation resets the device
+  victim.machine().run(100);  // the latched violation resets the device
   std::printf("device healed: last reset reason = %s\n",
-              sim::reset_reason_name(device.machine().resets().back().reason)
-                  .c_str());
+              victim.last_reset_reason().c_str());
 
-  // Rollback to version 1 is refused even with a valid MAC.
-  auto rollback = engine.make_package(0xE000, 1, payload);
-  status = engine.apply(device.machine(), rollback);
-  std::printf("apply valid-but-old package: %s\n",
+  // The captured v1->v2 package is genuine, but its version is no
+  // longer monotonic for unit-a: anti-rollback refuses it.
+  status = victim.apply_update(captured);
+  std::printf("replay captured package: %s\n",
               status == casu::UpdateStatus::kRollback ? "rejected (rollback)"
                                                       : "ACCEPTED?!");
 
   // And a direct PMEM write from software is impossible outside an
   // update session -- demonstrated by the monitor veto.
-  device.machine().bus().write_word(0xE000, 0xDEAD, /*pc=*/0xE010);
+  victim.machine().bus().write_word(0xE000, 0xDEAD, /*pc=*/0xE010);
   std::printf("direct PMEM store from app code: %s\n",
-              device.machine().bus().access_denied() ? "denied by CASU"
+              victim.machine().bus().access_denied() ? "denied by CASU"
                                                      : "WROTE?!");
   return 0;
 }

@@ -66,6 +66,14 @@ class CasuMonitor : public sim::Monitor {
     if (!violation_) violation_ = sim::ResetReason::kUpdateAuthFailure;
   }
 
+  // Latched by the update engine when a validly MAC'd package replays
+  // an old version (anti-rollback): a genuine-looking but stale package
+  // is an attack signal, so the device heals by reset like any other
+  // update abuse.
+  void report_update_rollback() {
+    if (!violation_) violation_ = sim::ResetReason::kUpdateRollback;
+  }
+
   bool in_rom(uint16_t addr) const {
     return addr >= config_.rom_start && addr <= config_.rom_end;
   }

@@ -2,58 +2,85 @@
 
 namespace eilid::casu {
 
-UpdateEngine::UpdateEngine(std::span<const uint8_t> device_key,
-                           CasuMonitor& monitor)
-    : update_key_(crypto::derive_key(device_key, "casu-update")),
-      monitor_(monitor) {}
-
-crypto::Digest UpdateEngine::mac_for(const UpdatePackage& package) const {
-  // MAC over addr || version || payload (all fields fixed-width LE).
-  std::vector<uint8_t> msg;
-  msg.reserve(6 + package.payload.size());
-  msg.push_back(static_cast<uint8_t>(package.target_addr));
-  msg.push_back(static_cast<uint8_t>(package.target_addr >> 8));
-  for (int i = 0; i < 4; ++i) {
-    msg.push_back(static_cast<uint8_t>(package.version >> (8 * i)));
-  }
-  msg.insert(msg.end(), package.payload.begin(), package.payload.end());
-  return crypto::hmac_sha256(
-      std::span<const uint8_t>(update_key_.data(), update_key_.size()),
-      std::span<const uint8_t>(msg.data(), msg.size()));
+size_t UpdatePackage::payload_bytes() const {
+  size_t n = 0;
+  for (const auto& region : regions) n += region.payload.size();
+  return n;
 }
 
-UpdatePackage UpdateEngine::make_package(uint16_t target_addr, uint32_t version,
-                                         std::vector<uint8_t> payload) const {
+crypto::Digest package_mac(const crypto::Digest& update_key,
+                           const UpdatePackage& package) {
+  crypto::HmacSha256 mac(
+      std::span<const uint8_t>(update_key.data(), update_key.size()));
+  uint8_t header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(package.version >> (8 * i));
+  }
+  mac.update(std::span<const uint8_t>(header, sizeof(header)));
+  for (const auto& region : package.regions) {
+    const uint32_t len = static_cast<uint32_t>(region.payload.size());
+    uint8_t rh[6];
+    rh[0] = static_cast<uint8_t>(region.target_addr);
+    rh[1] = static_cast<uint8_t>(region.target_addr >> 8);
+    for (int i = 0; i < 4; ++i) rh[2 + i] = static_cast<uint8_t>(len >> (8 * i));
+    mac.update(std::span<const uint8_t>(rh, sizeof(rh)));
+    mac.update(std::span<const uint8_t>(region.payload.data(),
+                                        region.payload.size()));
+  }
+  return mac.finish();
+}
+
+UpdateAuthority::UpdateAuthority(std::span<const uint8_t> device_key)
+    : update_key_(crypto::derive_key(device_key, "casu-update")) {}
+
+UpdatePackage UpdateAuthority::make_package(
+    uint32_t version, std::vector<UpdateRegion> regions) const {
   UpdatePackage pkg;
-  pkg.target_addr = target_addr;
   pkg.version = version;
-  pkg.payload = std::move(payload);
-  pkg.mac = mac_for(pkg);
+  pkg.regions = std::move(regions);
+  pkg.mac = package_mac(update_key_, pkg);
   return pkg;
 }
 
-UpdateStatus UpdateEngine::apply(sim::Machine& machine,
-                                 const UpdatePackage& package) {
-  if (!sim::is_pmem(package.target_addr) ||
-      package.target_addr + package.payload.size() > 0x10000) {
-    return UpdateStatus::kBadRegion;
+UpdatePackage UpdateAuthority::make_package(
+    uint16_t target_addr, uint32_t version,
+    std::vector<uint8_t> payload) const {
+  std::vector<UpdateRegion> regions;
+  regions.push_back({target_addr, std::move(payload)});
+  return make_package(version, std::move(regions));
+}
+
+UpdateEngine::UpdateEngine(std::span<const uint8_t> device_key,
+                           sim::Machine& machine, CasuMonitor* monitor)
+    : update_key_(crypto::derive_key(device_key, "casu-update")),
+      machine_(machine),
+      monitor_(monitor) {}
+
+UpdateStatus UpdateEngine::apply(const UpdatePackage& package) {
+  for (const auto& region : package.regions) {
+    if (!sim::is_pmem(region.target_addr) ||
+        region.target_addr + region.payload.size() > 0x10000) {
+      return UpdateStatus::kBadRegion;
+    }
   }
-  crypto::Digest expected = mac_for(package);
+  crypto::Digest expected = package_mac(update_key_, package);
   if (!crypto::digest_equal(expected, package.mac)) {
     // Authentication failure is a monitored event: the ROM update
     // routine reports it and the device resets at the next step.
-    monitor_.report_update_auth_failure();
+    if (monitor_ != nullptr) monitor_->report_update_auth_failure();
     return UpdateStatus::kBadMac;
   }
   if (package.version <= version_) {
+    if (monitor_ != nullptr) monitor_->report_update_rollback();
     return UpdateStatus::kRollback;
   }
-  monitor_.begin_update_session();
-  for (size_t i = 0; i < package.payload.size(); ++i) {
-    machine.bus().raw_store_byte(
-        static_cast<uint16_t>(package.target_addr + i), package.payload[i]);
+  if (monitor_ != nullptr) monitor_->begin_update_session();
+  for (const auto& region : package.regions) {
+    machine_.bus().raw_store_bytes(
+        region.target_addr, std::span<const uint8_t>(region.payload.data(),
+                                                     region.payload.size()));
   }
-  monitor_.end_update_session();
+  if (monitor_ != nullptr) monitor_->end_update_session();
   version_ = package.version;
   return UpdateStatus::kApplied;
 }

@@ -2,10 +2,23 @@
 //
 // CASU's only path for modifying PMEM is an update authorised by a MAC
 // computed with a device-unique key and bound to a monotonic version
-// (anti-rollback). The transport and the device-side MAC computation
-// are modeled at the engine level: verification logic (HMAC-SHA256,
-// version check) is real; the bytes are applied to PMEM under an open
-// monitor session, mirroring the ROM update routine's effect.
+// (anti-rollback). The API splits the protocol the way the protocol
+// itself splits:
+//
+//   - UpdateAuthority is the sender (vendor/verifier) side: it holds a
+//     device's update key and builds correctly MAC'd packages. It
+//     never touches a machine.
+//   - UpdateEngine is the receiver (device) side: it is bound at
+//     construction to the one machine its monitor polices -- an engine
+//     cannot be aimed at a foreign machine -- and owns that device's
+//     anti-rollback version counter (per device, never shared across
+//     a fleet).
+//
+// A package carries any number of disjoint PMEM regions, so a whole
+// build-to-build image diff ships as one atomic, MAC'd unit. The
+// verification logic (HMAC-SHA256, version check) is real; the bytes
+// are applied to PMEM under an open monitor session, mirroring the ROM
+// update routine's effect.
 #ifndef EILID_CASU_UPDATE_H
 #define EILID_CASU_UPDATE_H
 
@@ -19,41 +32,71 @@
 
 namespace eilid::casu {
 
-struct UpdatePackage {
+struct UpdateRegion {
   uint16_t target_addr = 0;
-  uint32_t version = 0;
   std::vector<uint8_t> payload;
+};
+
+struct UpdatePackage {
+  uint32_t version = 0;
+  std::vector<UpdateRegion> regions;
   crypto::Digest mac{};
+
+  size_t payload_bytes() const;
 };
 
 enum class UpdateStatus : uint8_t {
   kApplied,
   kBadMac,
-  kRollback,       // version <= current version
-  kBadRegion,      // payload does not fit in PMEM
+  kRollback,       // version <= device's current version
+  kBadRegion,      // a region does not fit in PMEM
 };
 
-class UpdateEngine {
- public:
-  // `device_key` is the master key provisioned at manufacture; the
-  // update key is derived as HMAC(master, "casu-update").
-  UpdateEngine(std::span<const uint8_t> device_key, CasuMonitor& monitor);
+// MAC over version || (addr, len, bytes) per region, all fields
+// fixed-width LE. Shared by the authority (signing) and the engine
+// (verification).
+crypto::Digest package_mac(const crypto::Digest& update_key,
+                           const UpdatePackage& package);
 
-  // Authority (verifier) side: build a correctly MAC'd package.
+// Sender side. `device_key` is the device's master key provisioned at
+// manufacture (for a fleet, the per-device key derived from the fleet
+// master); the update key is derived as HMAC(master, "casu-update").
+class UpdateAuthority {
+ public:
+  explicit UpdateAuthority(std::span<const uint8_t> device_key);
+
+  UpdatePackage make_package(uint32_t version,
+                             std::vector<UpdateRegion> regions) const;
+  // Single-region convenience (raw patch, not a build transition).
   UpdatePackage make_package(uint16_t target_addr, uint32_t version,
                              std::vector<uint8_t> payload) const;
 
-  // Device side: verify and apply. On kBadMac the monitor latches an
-  // update-auth violation so the device resets (CASU heals on abuse).
-  UpdateStatus apply(sim::Machine& machine, const UpdatePackage& package);
+ private:
+  crypto::Digest update_key_;
+};
+
+// Receiver side: one engine per device, bound to that device's machine
+// and monitor for its whole life.
+class UpdateEngine {
+ public:
+  // `monitor` must be the monitor policing `machine` (null for an
+  // unprotected device: updates still verify and apply, but there is
+  // no hardware to latch auth failures on).
+  UpdateEngine(std::span<const uint8_t> device_key, sim::Machine& machine,
+               CasuMonitor* monitor);
+
+  // Verify and apply against this engine's machine. On kBadMac or
+  // kRollback the monitor latches a violation so the device resets
+  // (CASU heals on abuse); region checks precede authentication so a
+  // malformed package is never MAC'd.
+  UpdateStatus apply(const UpdatePackage& package);
 
   uint32_t current_version() const { return version_; }
 
  private:
-  crypto::Digest mac_for(const UpdatePackage& package) const;
-
   crypto::Digest update_key_;
-  CasuMonitor& monitor_;
+  sim::Machine& machine_;
+  CasuMonitor* monitor_;
   uint32_t version_ = 0;
 };
 

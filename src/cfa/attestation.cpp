@@ -34,6 +34,12 @@ void CfaMonitor::on_device_reset() {
   log_edge(marker);
 }
 
+void CfaMonitor::on_update_applied() {
+  LoggedEdge marker;
+  marker.update = true;
+  log_edge(marker);
+}
+
 crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
                                       uint32_t seq,
                                       const std::vector<LoggedEdge>& edges) {
@@ -48,15 +54,17 @@ crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
   }
   mac.update(std::span<const uint8_t>(header, sizeof(header)));
   // Batch edge records through a block-sized buffer so Sha256::update
-  // sees chunks, not 5-byte dribbles.
-  uint8_t buf[320];  // 64 edge records (multiple of both 5 and 64)
+  // sees chunks, not per-edge dribbles. 64 records is a multiple of
+  // the SHA-256 block size for the current 5-byte record.
+  uint8_t buf[64 * LoggedEdge::kWireBytes];
   size_t fill = 0;
   for (const auto& e : edges) {
     buf[fill++] = static_cast<uint8_t>(e.from);
     buf[fill++] = static_cast<uint8_t>(e.from >> 8);
     buf[fill++] = static_cast<uint8_t>(e.to);
     buf[fill++] = static_cast<uint8_t>(e.to >> 8);
-    buf[fill++] = static_cast<uint8_t>((e.irq ? 1 : 0) | (e.reset ? 2 : 0));
+    buf[fill++] = static_cast<uint8_t>((e.irq ? 1 : 0) | (e.reset ? 2 : 0) |
+                                       (e.update ? 4 : 0));
     if (fill == sizeof(buf)) {
       mac.update(std::span<const uint8_t>(buf, fill));
       fill = 0;
@@ -79,6 +87,18 @@ Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle) {
 }
 
 bool CfaVerifier::replay_edge(const LoggedEdge& edge) {
+  if (edge.update) {
+    // Code epoch boundary: legitimate only if the verifier sanctioned
+    // an update for this device (stage_cfg_swap / queue_cfg_swap). The
+    // old CFG -- and the call/irq expectations pointing into the old
+    // code -- die here; replay continues against the new build's CFG.
+    if (pending_cfgs_.empty()) return false;
+    cfg_ = std::move(pending_cfgs_.front());
+    pending_cfgs_.pop_front();
+    call_stack_.clear();
+    irq_stack_.clear();
+    return true;
+  }
   if (edge.reset) {
     // Device rebooted: discard replay state, execution restarts clean.
     call_stack_.clear();
@@ -139,6 +159,16 @@ CfaVerifier::Result CfaVerifier::verify(const Report& report, uint64_t nonce) {
 void CfaVerifier::reset_replay() {
   call_stack_.clear();
   irq_stack_.clear();
+  // Staged-but-unconsumed epoch swaps die with the replay state: a
+  // fresh evidence stream starts from the device's current code, so a
+  // stale queued CFG must not be consumed by some later, unrelated
+  // update marker. cfg_ itself stays at the current epoch -- it tracks
+  // what code the device runs, not how far replay got.
+  pending_cfgs_.clear();
+}
+
+void CfaVerifier::queue_cfg_swap(std::shared_ptr<const Cfg> cfg) {
+  pending_cfgs_.push_back(std::move(cfg));
 }
 
 }  // namespace eilid::cfa

@@ -8,6 +8,7 @@
 #define EILID_CFA_ATTESTATION_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -22,8 +23,16 @@ namespace eilid::cfa {
 struct LoggedEdge {
   uint16_t from = 0;
   uint16_t to = 0;
-  bool irq = false;    // asynchronous interrupt entry
-  bool reset = false;  // device reset marker (execution restarts)
+  bool irq = false;     // asynchronous interrupt entry
+  bool reset = false;   // device reset marker (execution restarts)
+  bool update = false;  // authenticated update applied (code epoch
+                        // boundary: the CFG changes here)
+
+  // Serialized size of one edge record inside a MAC'd report: from,
+  // to, and one flags byte (irq | reset | update). The single source
+  // of truth for the wire format -- mac_report() and total_log_bytes()
+  // both derive from it.
+  static constexpr size_t kWireBytes = 5;
 
   bool operator==(const LoggedEdge&) const = default;
 };
@@ -59,12 +68,22 @@ class CfaMonitor : public sim::Monitor {
   void on_interrupt(int vector_index, uint16_t from_pc, uint16_t to_pc) override;
   void on_device_reset() override;
 
+  // Called by the device's update path right after an authenticated
+  // update lands: the code epoch changes at exactly this point in the
+  // evidence stream, so the verifier knows where to swap replay CFGs.
+  // The marker is an ordinary logged edge, MAC'd with the rest of the
+  // evidence -- a device cannot splice an epoch boundary in or out
+  // without failing authentication.
+  void on_update_applied();
+
   // Verifier challenge: drain the log into a MAC'd report.
   Report take_report(uint64_t nonce, uint64_t device_cycle);
 
   size_t log_size() const { return log_.size(); }
   uint64_t total_edges() const { return total_edges_; }
-  uint64_t total_log_bytes() const { return total_edges_ * 4; }
+  uint64_t total_log_bytes() const {
+    return total_edges_ * LoggedEdge::kWireBytes;
+  }
 
   static crypto::Digest mac_report(const crypto::Digest& key, uint64_t nonce,
                                    uint32_t seq,
@@ -102,7 +121,19 @@ class CfaVerifier {
   // interrupt frames) persists across reports.
   Result verify(const Report& report, uint64_t nonce);
 
+  // Discard replay state (stacks and staged epoch swaps). The current
+  // CFG is kept: it reflects what code the device runs now, which a
+  // replay restart does not change.
   void reset_replay();
+
+  // Stage a CFG swap that takes effect when replay reaches the next
+  // update-marker edge in the evidence stream (FIFO when several are
+  // staged): edges before the marker keep replaying against the
+  // current CFG, edges after it against `cfg`. An update marker with
+  // no staged CFG is an *unsanctioned* code change and fails the
+  // path check.
+  void queue_cfg_swap(std::shared_ptr<const Cfg> cfg);
+  size_t pending_cfg_swaps() const { return pending_cfgs_.size(); }
 
  private:
   bool replay_edge(const LoggedEdge& edge);
@@ -111,6 +142,7 @@ class CfaVerifier {
   crypto::Digest key_;
   std::vector<uint16_t> call_stack_;  // expected return addresses
   std::vector<uint16_t> irq_stack_;   // expected resume addresses
+  std::deque<std::shared_ptr<const Cfg>> pending_cfgs_;
 };
 
 }  // namespace eilid::cfa

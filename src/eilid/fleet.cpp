@@ -75,6 +75,21 @@ void VerifierService::withdraw(const std::string& device_id) {
   devices_.erase(device_id);
 }
 
+bool VerifierService::stage_cfg_swap(DeviceSession& session) {
+  if (session.cfa_monitor() == nullptr) return false;
+  // Extract (or fetch) the current build's CFG before taking mu_ --
+  // cfg_for only touches cfg_mu_, which never nests with a session
+  // mutex the caller holds.
+  std::shared_ptr<const cfa::Cfg> cfg = cfg_for(session);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = devices_.find(session.id());
+  if (it == devices_.end() || it->second.session != &session) return false;
+  // The caller holds session.mutex(), which is exactly the lock that
+  // guards this DeviceState's replay verifier.
+  it->second.verifier.queue_cfg_swap(std::move(cfg));
+  return true;
+}
+
 VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
   if (session.cfa_monitor() == nullptr) {
     // Nothing to challenge: no on-device evidence exists. Report the
@@ -296,6 +311,25 @@ crypto::Digest Fleet::device_key(const std::string& device_id) const {
       "attest:" + device_id);
 }
 
+crypto::Digest Fleet::update_key(const std::string& device_id) const {
+  return crypto::derive_key(
+      std::span<const uint8_t>(options_.master_key.data(),
+                               options_.master_key.size()),
+      "update:" + device_id);
+}
+
+UpdateCampaign Fleet::stage_update(
+    std::shared_ptr<const core::BuildResult> target, CampaignOptions options) {
+  return UpdateCampaign(*this, std::move(target), options);
+}
+
+UpdateCampaign Fleet::stage_update(const std::string& source,
+                                   const std::string& name,
+                                   const core::BuildOptions& build_options,
+                                   CampaignOptions options) {
+  return stage_update(build(source, name, build_options), options);
+}
+
 Fleet::Shard& Fleet::shard_for(const std::string& device_id) {
   return shards_[std::hash<std::string>{}(device_id) % kShardCount];
 }
@@ -319,6 +353,7 @@ DeviceSession& Fleet::deploy(const std::string& device_id,
     }
   }
   options.attest_key = device_key(device_id);
+  options.update_key = update_key(device_id);
   auto session = std::make_unique<DeviceSession>(device_id, std::move(build),
                                                  policy, options);
   DeviceSession& ref = *session;

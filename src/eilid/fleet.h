@@ -16,7 +16,17 @@
 //     builds, each wired per its EnforcementPolicy,
 //   - a VerifierService multiplexing attestation across sessions with
 //     per-device keys, nonces and replay state, plus a batched
-//     verify_all() sweep.
+//     verify_all() sweep,
+//   - update campaigns (stage_update() -> eilid::UpdateCampaign):
+//     CASU's authenticated, anti-rollback software update as a *build
+//     transition* -- each device moves from its own current cached
+//     build to the target via a MAC'd package diffed between the two
+//     images, keyed and versioned per device. A successful update
+//     atomically swaps the session onto the target build (shared
+//     predecoded table, symbols) and stages a replay-CFG swap with the
+//     verifier at the epoch marker the device logged, so pre-update
+//     evidence replays against the old CFG and post-update evidence
+//     against the new.
 //
 //   eilid::Fleet fleet;
 //   auto& dev = fleet.provision("door-7", source, "gateway",
@@ -43,6 +53,14 @@
 //       never attested twice at once.
 //     - apps::run_workload_all(): drives disjoint sessions
 //       concurrently, taking each session's lock for the duration.
+//     - UpdateCampaign::apply_to()/roll_out(): each device updates
+//       under its own session lock (diff cache shared, internally
+//       locked), so a pooled rollout, a concurrent attestation sweep
+//       and concurrent workload drivers interleave per device; the
+//       pooled rollout's outcomes are identical to the serial one's.
+//       The CFG epoch is staged while the device's lock is still held,
+//       so a sweep can never drain an update marker the verifier has
+//       not been told about.
 //
 //   Requires external synchronization:
 //     - A DeviceSession itself is single-threaded: do not call run()/
@@ -76,6 +94,7 @@
 #include "common/thread_pool.h"
 #include "crypto/hmac.h"
 #include "eilid/session.h"
+#include "eilid/update.h"
 
 namespace eilid {
 
@@ -132,6 +151,15 @@ class VerifierService {
   // sweep or attest() of the same device.
   void withdraw(const std::string& device_id);
 
+  // Sanction the code change `session` just logged: stage a replay-CFG
+  // swap to the CFG of the session's *current* build (shared via the
+  // per-build cache), taking effect when the device's evidence stream
+  // reaches its update marker. Caller must hold session.mutex()
+  // (UpdateCampaign does). Returns false -- and stages nothing -- for
+  // a session with no CFA monitor, one this service has not enrolled,
+  // or one whose id is enrolled against a different live session.
+  bool stage_cfg_swap(DeviceSession& session);
+
  private:
   struct DeviceState {
     DeviceSession* session = nullptr;
@@ -171,7 +199,8 @@ class VerifierService {
 
 struct FleetOptions {
   // Master key provisioned at manufacture; per-device attestation keys
-  // are derived as HMAC(master, "attest:" + device_id).
+  // are derived as HMAC(master, "attest:" + device_id) and per-device
+  // update keys as HMAC(master, "update:" + device_id).
   std::vector<uint8_t> master_key = std::vector<uint8_t>(32, 0x5A);
 };
 
@@ -223,10 +252,29 @@ class Fleet {
   // valid until the corresponding device is decommissioned.
   std::vector<DeviceSession*> sessions() const;
 
+  // --- update campaigns --------------------------------------------
+  // Stage a secure update of fleet sessions onto `target` (normally a
+  // build() result, so campaigns ride the same content-hash cache).
+  // The returned campaign rolls packages out per device -- see
+  // eilid/update.h for the lifecycle and concurrency contract. The
+  // target's build shape must match the devices' (same RomConfig /
+  // instrumentation); a transition whose images differ outside PMEM is
+  // reported per device as UpdateResult::kIncompatible.
+  UpdateCampaign stage_update(std::shared_ptr<const core::BuildResult> target,
+                              CampaignOptions options = {});
+  // Convenience: build (cached) the target from source first.
+  UpdateCampaign stage_update(const std::string& source,
+                              const std::string& name,
+                              const core::BuildOptions& build_options = {},
+                              CampaignOptions options = {});
+
   VerifierService& verifier() { return verifier_; }
 
   // The key a given device MACs its attestation reports with.
   crypto::Digest device_key(const std::string& device_id) const;
+  // The device-unique key a given device's secure updates are
+  // authenticated against.
+  crypto::Digest update_key(const std::string& device_id) const;
 
  private:
   // Registry shard: deploys/lookups of ids that hash to different

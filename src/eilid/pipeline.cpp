@@ -9,11 +9,7 @@
 
 namespace eilid::core {
 
-namespace {
-
-// Predecode the build's code regions once, from exactly the bytes a
-// freshly flashed device holds (the image over zero-filled memory).
-std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
+std::vector<uint8_t> flat_memory(const BuildResult& build) {
   std::vector<uint8_t> flat(0x10000, 0);
   auto blit = [&flat](const masm::MemoryImage& image) {
     for (const auto& chunk : image.chunks()) {
@@ -21,8 +17,43 @@ std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
                 flat.begin() + chunk.base);
     }
   };
-  blit(result.app.image);
-  if (result.rom.unit.image.size_bytes() != 0) blit(result.rom.unit.image);
+  blit(build.app.image);
+  if (build.rom.unit.image.size_bytes() != 0) blit(build.rom.unit.image);
+  return flat;
+}
+
+ImageDiff diff_builds(const BuildResult& from, const BuildResult& to) {
+  ImageDiff diff;
+  const std::vector<uint8_t> a = flat_memory(from);
+  const std::vector<uint8_t> b = flat_memory(to);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    const uint16_t addr = static_cast<uint16_t>(i);
+    if (!sim::is_pmem(addr)) {
+      diff.compatible = false;
+      diff.first_incompatible = addr;
+      diff.regions.clear();
+      diff.payload_bytes = 0;
+      return diff;
+    }
+    if (!diff.regions.empty() &&
+        diff.regions.back().target_addr + diff.regions.back().payload.size() ==
+            i) {
+      diff.regions.back().payload.push_back(b[i]);
+    } else {
+      diff.regions.push_back({addr, {b[i]}});
+    }
+    ++diff.payload_bytes;
+  }
+  return diff;
+}
+
+namespace {
+
+// Predecode the build's code regions once, from exactly the bytes a
+// freshly flashed device holds.
+std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
+  std::vector<uint8_t> flat = flat_memory(result);
   const isa::DecodedImage::Range ranges[] = {
       {sim::kRomStart, sim::kRomEnd},
       {sim::kPmemStart, 0xFFFE},

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "casu/update.h"
 #include "eilid/instrumenter.h"
 #include "eilid/rom_builder.h"
 #include "isa/decoded_image.h"
@@ -58,6 +59,27 @@ struct BuildResult {
 // instrumentation errors.
 BuildResult build_app(const std::string& source, const std::string& name,
                       const BuildOptions& options = {});
+
+// Full 64 KiB address-space snapshot of the flashed build (app + ROM
+// over zero-filled backing store) -- exactly what a freshly loaded
+// device's memory holds. The predecoder and the update differ both
+// read builds through this one definition.
+std::vector<uint8_t> flat_memory(const BuildResult& build);
+
+// Byte diff between two builds' flashed images, expressed as the
+// coalesced PMEM write regions an authenticated update must apply to
+// move a device from `from` to `to`. A difference outside PMEM (a
+// different EILIDsw ROM, bytes below the flash floor) cannot be
+// expressed as a CASU update at all: the transition is marked
+// incompatible and carries no regions.
+struct ImageDiff {
+  bool compatible = true;
+  uint16_t first_incompatible = 0;  // lowest differing non-PMEM address
+  std::vector<casu::UpdateRegion> regions;
+  size_t payload_bytes = 0;
+};
+
+ImageDiff diff_builds(const BuildResult& from, const BuildResult& to);
 
 }  // namespace eilid::core
 

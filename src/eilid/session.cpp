@@ -67,6 +67,13 @@ DeviceSession::DeviceSession(std::string device_id,
         std::make_unique<cfa::CfaMonitor>(options_.attest_key, options_.cfa);
     machine_.add_monitor(cfa_monitor_.get());
   }
+  // The update engine is bound to this session's machine and monitor
+  // for the session's whole life: an update aimed at this device can
+  // never land anywhere else.
+  update_engine_ = std::make_unique<casu::UpdateEngine>(
+      std::span<const uint8_t>(options_.update_key.data(),
+                               options_.update_key.size()),
+      machine_, hw_monitor_.get());
   machine_.set_halt_on_reset(options_.halt_on_reset);
 
   for (const auto& chunk : build_->app.image.chunks()) {
@@ -97,6 +104,34 @@ uint16_t DeviceSession::symbol(const std::string& name) const {
 sim::RunResult DeviceSession::run_to_symbol(const std::string& name,
                                             uint64_t max_cycles) {
   return machine_.run_until(symbol(name), max_cycles);
+}
+
+casu::UpdateStatus DeviceSession::apply_update(
+    const casu::UpdatePackage& package) {
+  casu::UpdateStatus status = update_engine_->apply(package);
+  if (status == casu::UpdateStatus::kApplied && cfa_monitor_ != nullptr) {
+    cfa_monitor_->on_update_applied();
+  }
+  return status;
+}
+
+void DeviceSession::adopt_build(std::shared_ptr<const core::BuildResult> next) {
+  if (!next) {
+    throw FleetError("session '" + id_ + "': adopt_build with null build");
+  }
+  if (policy_ == EnforcementPolicy::kEilidHw &&
+      next->rom.unit.image.size_bytes() == 0) {
+    throw FleetError("session '" + id_ +
+                     "': kEilidHw cannot adopt an uninstrumented build");
+  }
+  build_ = std::move(next);
+  // The update's stores bumped the bus code generation, so the CPU is
+  // running interpretively right now; attaching the new build's shared
+  // table re-snapshots the generation and restores predecoded
+  // execution -- against a table that matches the new bytes.
+  if (options_.predecode && build_->decoded_image != nullptr) {
+    machine_.attach_decoded_image(build_->decoded_image);
+  }
 }
 
 std::string DeviceSession::last_reset_reason() const {

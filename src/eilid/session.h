@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "casu/update.h"
 #include "cfa/attestation.h"
 #include "crypto/sha256.h"
 #include "eilid/hw_monitor.h"
@@ -41,6 +42,10 @@ struct SessionOptions {
   // Per-device attestation MAC key. Fleet derives it from its master
   // key; standalone sessions may set it directly.
   crypto::Digest attest_key{};
+  // Per-device secure-update key (the device-unique key CASU's update
+  // protocol authenticates against). Fleet derives it from its master
+  // key; standalone sessions may set it directly.
+  crypto::Digest update_key{};
   // Consult the build's shared predecoded image in the simulator hot
   // loop (false forces pure interpretive decode -- the pre-predecode
   // core, kept for A/B benchmarking and coherence tests; retired
@@ -87,6 +92,33 @@ class DeviceSession {
   // enforced).
   std::string last_reset_reason() const;
 
+  // --- authenticated update (CASU substrate) ------------------------
+  // This device's anti-rollback firmware version: 0 as provisioned,
+  // bumped by every applied package. Owned by the session -- each
+  // device counts independently, never shared across a fleet.
+  uint32_t firmware_version() const { return update_engine_->current_version(); }
+
+  // Verify and apply a package against this device's own machine,
+  // monitor and version counter (the engine is bound to them at
+  // construction, so an update can never land on a different device
+  // than the one whose monitor polices it). On kApplied a kCfaBaseline
+  // session also logs the epoch-boundary marker the verifier swaps
+  // replay CFGs at. Applying a package does NOT re-point the session's
+  // build -- that is the build-transition half, see adopt_build() and
+  // eilid::UpdateCampaign. Hold mutex() when a concurrent sweep may
+  // touch this device.
+  casu::UpdateStatus apply_update(const casu::UpdatePackage& package);
+
+  // Re-point the session at `next` after an applied update has made
+  // the device's PMEM byte-identical to next's image (the caller --
+  // normally UpdateCampaign -- guarantees that; the ROM must be
+  // unchanged). Re-attaches next's shared predecoded table, so the
+  // device keeps decoding from a build-time table instead of falling
+  // back to interpretive decode forever, and future symbol lookups
+  // resolve against the new code. Throws eilid::FleetError on a
+  // policy/build mismatch or a null build.
+  void adopt_build(std::shared_ptr<const core::BuildResult> next);
+
   // Power-cycle the device: volatile state and monitor latches clear
   // (an enforcement reset); the CFA log deliberately survives with a
   // reset marker (ACFA keeps evidence in attested memory), and the
@@ -111,6 +143,7 @@ class DeviceSession {
   sim::Machine machine_;
   std::unique_ptr<core::EilidHwMonitor> hw_monitor_;
   std::unique_ptr<cfa::CfaMonitor> cfa_monitor_;
+  std::unique_ptr<casu::UpdateEngine> update_engine_;
 };
 
 }  // namespace eilid

@@ -13,6 +13,7 @@ std::string reset_reason_name(ResetReason reason) {
     case ResetReason::kRomExitViolation: return "rom-exit";
     case ResetReason::kPrivilegedMmioViolation: return "privileged-mmio";
     case ResetReason::kUpdateAuthFailure: return "update-auth";
+    case ResetReason::kUpdateRollback: return "update-rollback";
     case ResetReason::kSecureRamAccessViolation: return "secure-ram-access";
     case ResetReason::kCfiReturnMismatch: return "cfi-return-mismatch";
     case ResetReason::kCfiRfiMismatch: return "cfi-rfi-mismatch";

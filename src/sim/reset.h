@@ -19,6 +19,7 @@ enum class ResetReason : uint8_t {
   kRomExitViolation,       // leaving ROM not through the leave section
   kPrivilegedMmioViolation,  // app touched a ROM-only control register
   kUpdateAuthFailure,      // secure update MAC mismatch
+  kUpdateRollback,         // secure update replayed an old version
   // EILID secure-memory extension.
   kSecureRamAccessViolation,  // shadow-stack access with PC outside ROM
   // CFI checks performed by EILIDsw (reported through the violation

@@ -124,8 +124,14 @@ class UpdateTest : public ::testing::Test {
         ".vector 15, main\n.end\n",
         "app");
     device_ = std::make_unique<core::Device>(build_);
-    engine_ = std::make_unique<UpdateEngine>(
-        std::span<const uint8_t>(key_.data(), key_.size()), device_->monitor());
+    // Receiver side is bound to the device's machine and monitor at
+    // construction: there is no way to aim it at another machine.
+    engine_ = std::make_unique<UpdateEngine>(key_span(), device_->machine(),
+                                             &device_->monitor());
+  }
+
+  std::span<const uint8_t> key_span() const {
+    return std::span<const uint8_t>(key_.data(), key_.size());
   }
 
   std::vector<uint8_t> key_ = std::vector<uint8_t>(32, 0x77);
@@ -135,42 +141,89 @@ class UpdateTest : public ::testing::Test {
 };
 
 TEST_F(UpdateTest, ValidUpdateApplies) {
-  auto pkg = engine_->make_package(0xE800, 1, {0x11, 0x22, 0x33});
-  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kApplied);
+  UpdateAuthority authority(key_span());
+  auto pkg = authority.make_package(0xE800, 1, {0x11, 0x22, 0x33});
+  EXPECT_EQ(engine_->apply(pkg), UpdateStatus::kApplied);
   EXPECT_EQ(device_->machine().bus().raw_byte(0xE800), 0x11);
   EXPECT_EQ(engine_->current_version(), 1u);
 }
 
+TEST_F(UpdateTest, MultiRegionPackageAppliesAtomically) {
+  UpdateAuthority authority(key_span());
+  auto pkg = authority.make_package(
+      1, {{0xE800, {0x11, 0x22}}, {0xF000, {0x33}}, {0xFF00, {0x44, 0x55}}});
+  EXPECT_EQ(pkg.payload_bytes(), 5u);
+  EXPECT_EQ(engine_->apply(pkg), UpdateStatus::kApplied);
+  EXPECT_EQ(device_->machine().bus().raw_byte(0xE801), 0x22);
+  EXPECT_EQ(device_->machine().bus().raw_byte(0xF000), 0x33);
+  EXPECT_EQ(device_->machine().bus().raw_byte(0xFF01), 0x55);
+  EXPECT_EQ(engine_->current_version(), 1u);
+}
+
 TEST_F(UpdateTest, TamperedPayloadRejectedAndDeviceHeals) {
-  auto pkg = engine_->make_package(0xE800, 1, {0x11, 0x22, 0x33});
-  pkg.payload[0] = 0x99;  // tampered in transit
-  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadMac);
+  UpdateAuthority authority(key_span());
+  auto pkg = authority.make_package(0xE800, 1, {0x11, 0x22, 0x33});
+  pkg.regions[0].payload[0] = 0x99;  // tampered in transit
+  EXPECT_EQ(engine_->apply(pkg), UpdateStatus::kBadMac);
   EXPECT_NE(device_->machine().bus().raw_byte(0xE800), 0x99);
   device_->machine().run(100);
   EXPECT_EQ(device_->machine().resets().back().reason,
             ResetReason::kUpdateAuthFailure);
 }
 
-TEST_F(UpdateTest, RollbackRejected) {
-  auto v2 = engine_->make_package(0xE800, 2, {0xAA});
-  EXPECT_EQ(engine_->apply(device_->machine(), v2), UpdateStatus::kApplied);
-  auto v1 = engine_->make_package(0xE802, 1, {0xBB});
-  EXPECT_EQ(engine_->apply(device_->machine(), v1), UpdateStatus::kRollback);
-  auto v2b = engine_->make_package(0xE802, 2, {0xBB});
-  EXPECT_EQ(engine_->apply(device_->machine(), v2b), UpdateStatus::kRollback);
+TEST_F(UpdateTest, RollbackRejectedAndLatchesViolation) {
+  UpdateAuthority authority(key_span());
+  auto v2 = authority.make_package(0xE800, 2, {0xAA});
+  EXPECT_EQ(engine_->apply(v2), UpdateStatus::kApplied);
+  auto v1 = authority.make_package(0xE802, 1, {0xBB});
+  EXPECT_EQ(engine_->apply(v1), UpdateStatus::kRollback);
+  auto v2b = authority.make_package(0xE802, 2, {0xBB});
+  EXPECT_EQ(engine_->apply(v2b), UpdateStatus::kRollback);
+  // A validly MAC'd but stale package is an attack signal: the device
+  // heals by reset, like any other update abuse.
+  device_->machine().run(100);
+  EXPECT_EQ(device_->machine().resets().back().reason,
+            ResetReason::kUpdateRollback);
 }
 
 TEST_F(UpdateTest, NonPmemTargetRejected) {
-  auto pkg = engine_->make_package(0x0300, 1, {0x11});
-  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadRegion);
+  UpdateAuthority authority(key_span());
+  auto pkg = authority.make_package(0x0300, 1, {0x11});
+  EXPECT_EQ(engine_->apply(pkg), UpdateStatus::kBadRegion);
+  // A bad region hiding behind valid ones poisons the whole package:
+  // nothing is applied.
+  auto mixed = authority.make_package(1, {{0xE800, {0x11}}, {0x0300, {0x22}}});
+  EXPECT_EQ(engine_->apply(mixed), UpdateStatus::kBadRegion);
+  EXPECT_NE(device_->machine().bus().raw_byte(0xE800), 0x11);
 }
 
 TEST_F(UpdateTest, WrongKeyRejected) {
   std::vector<uint8_t> other_key(32, 0x78);
-  UpdateEngine rogue(std::span<const uint8_t>(other_key.data(), other_key.size()),
-                     device_->monitor());
+  UpdateAuthority rogue(
+      std::span<const uint8_t>(other_key.data(), other_key.size()));
   auto pkg = rogue.make_package(0xE800, 1, {0x11});
-  EXPECT_EQ(engine_->apply(device_->machine(), pkg), UpdateStatus::kBadMac);
+  EXPECT_EQ(engine_->apply(pkg), UpdateStatus::kBadMac);
+}
+
+// Regression: the anti-rollback version counter is per device, not
+// per host. Updating one device must never advance (or be blocked by)
+// another device's version state.
+TEST_F(UpdateTest, VersionStateIsPerDevice) {
+  core::Device other(build_);
+  UpdateEngine other_engine(key_span(), other.machine(), &other.monitor());
+  UpdateAuthority authority(key_span());
+
+  // Device A reaches version 3.
+  EXPECT_EQ(engine_->apply(authority.make_package(0xE800, 3, {0xAA})),
+            UpdateStatus::kApplied);
+  // Device B is still at 0: version 1 is monotonic *for it*.
+  EXPECT_EQ(other_engine.apply(authority.make_package(0xE800, 1, {0xBB})),
+            UpdateStatus::kApplied);
+  EXPECT_EQ(engine_->current_version(), 3u);
+  EXPECT_EQ(other_engine.current_version(), 1u);
+  // And the bytes landed on the right machines.
+  EXPECT_EQ(device_->machine().bus().raw_byte(0xE800), 0xAA);
+  EXPECT_EQ(other.machine().bus().raw_byte(0xE800), 0xBB);
 }
 
 }  // namespace

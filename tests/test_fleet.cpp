@@ -327,6 +327,308 @@ TEST(VerifierServiceTest, ReplayStateIsolatedBetweenSessions) {
   }
 }
 
+// ----------------------------------------------------- update campaigns
+
+// Firmware v1/v2 pair whose control-flow graphs genuinely differ (v2
+// adds a call, shifting every address after it): replaying v1 evidence
+// against v2's CFG would convict, so these catch any epoch mix-up.
+const char* kFwV1 = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #emit
+    call #emit
+halt:
+    jmp halt
+emit:
+    mov.b #'1', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+
+const char* kFwV2 = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #emit
+    call #emit
+    call #emit
+halt:
+    jmp halt
+emit:
+    mov.b #'2', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+
+// The full build-transition lifecycle: the campaign moves every device
+// to the target build, bumps its own version, keeps it predecoded, and
+// the next attestation verifies pre-update evidence against the old
+// CFG and post-update evidence against the new one -- in one report.
+TEST(UpdateCampaignTest, BuildTransitionUpdatesAttestAndStayPredecoded) {
+  Fleet fleet;
+  constexpr int kDevices = 4;
+  for (int i = 0; i < kDevices; ++i) {
+    DeviceSession& dev =
+        fleet.provision("fw-" + std::to_string(i), kFwV1, "fw",
+                        EnforcementPolicy::kCfaBaseline);
+    // v1 evidence accumulates and is deliberately NOT attested before
+    // the update: the single post-update report must span the epoch.
+    dev.run_to_symbol("halt", 100000);
+    EXPECT_EQ(dev.machine().uart().tx_text(), "11");
+  }
+
+  UpdateCampaign campaign = fleet.stage_update(kFwV2, "fw", {.eilid = false});
+  // Capture one device's genuine package to replay after the rollout.
+  casu::UpdatePackage captured = campaign.package_for(fleet.at("fw-0"));
+
+  auto outcomes = campaign.roll_out();
+  ASSERT_EQ(outcomes.size(), static_cast<size_t>(kDevices));
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.result, UpdateResult::kApplied) << outcome.device_id;
+    EXPECT_EQ(outcome.version_before, 0u);
+    EXPECT_EQ(outcome.version_after, 1u);
+    EXPECT_TRUE(outcome.build_swapped);
+    EXPECT_TRUE(outcome.cfg_staged);
+    EXPECT_GT(outcome.payload_bytes, 0u);
+  }
+  // One campaign, one target build, shared by every session.
+  EXPECT_EQ(fleet.pipeline_runs(), 2u);
+  for (auto* dev : fleet.sessions()) {
+    EXPECT_EQ(dev->shared_build().get(), campaign.target_build().get());
+    EXPECT_EQ(dev->firmware_version(), 1u);
+  }
+
+  for (auto* dev : fleet.sessions()) {
+    dev->machine().uart().clear_tx();
+    dev->run_to_symbol("halt", 100000);
+    EXPECT_EQ(dev->machine().uart().tx_text(), "222") << dev->id();
+    // No permanent interpretive fall-back: the session decodes from
+    // the target build's shared table.
+    EXPECT_TRUE(dev->machine().cpu().decode_cache_valid()) << dev->id();
+    EXPECT_EQ(dev->machine().cpu().decoded_image(),
+              campaign.target_build()->decoded_image.get());
+  }
+
+  // One report per device covering [v1 edges, update, reset, v2 edges]:
+  // clean only if the verifier swaps CFGs at the marker.
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    EXPECT_TRUE(verdict.ok()) << verdict.device_id << " first_bad="
+                              << (verdict.first_bad ? verdict.first_bad->to : 0);
+  }
+
+  // Anti-rollback is per device: the captured (genuine, version-1)
+  // package is stale for fw-0 now and must be refused.
+  EXPECT_EQ(fleet.at("fw-0").apply_update(captured),
+            casu::UpdateStatus::kRollback);
+  // A second identical campaign is a fleet-wide no-op.
+  for (const auto& outcome :
+       fleet.stage_update(kFwV2, "fw", {.eilid = false}).roll_out()) {
+    EXPECT_EQ(outcome.result, UpdateResult::kAlreadyCurrent);
+  }
+}
+
+// A hijack that happened *before* an update must still be convicted by
+// the post-update attestation: the epoch swap must not launder old
+// evidence.
+TEST(UpdateCampaignTest, PreUpdateHijackStillConvictedAfterUpdate) {
+  const auto& app = apps::vuln_gateway();
+  Fleet fleet;
+  DeviceSession& dev = fleet.provision(
+      "victim", app.source, app.name, EnforcementPolicy::kCfaBaseline,
+      {.halt_on_reset = true, .cfa = {.log_capacity = 8192}});
+  dev.machine().uart().feed(
+      attacks::overflow_ret_payload(dev.symbol("unlock")));
+  dev.run_to_symbol("halt", app.cycle_budget);
+  uint16_t unlock = dev.symbol("unlock");
+
+  // Vendor ships a patched gateway (an extra nop shifts the layout).
+  std::string patched = app.source;
+  patched.insert(patched.find("recv_packet:"), "    nop\n");
+  auto outcome =
+      fleet.stage_update(patched, app.name, {.eilid = false}).apply_to(dev);
+  EXPECT_EQ(outcome.result, UpdateResult::kApplied);
+
+  auto verdict = fleet.verifier().attest(dev);
+  EXPECT_TRUE(verdict.mac_ok);
+  EXPECT_FALSE(verdict.path_ok);  // the old-epoch evidence convicts
+  ASSERT_TRUE(verdict.first_bad.has_value());
+  EXPECT_EQ(verdict.first_bad->to, unlock);
+}
+
+// An update the verifier did not sanction (a valid package applied
+// outside any campaign) leaves an epoch marker with no staged CFG: the
+// next attestation flags the code change instead of trusting it.
+TEST(UpdateCampaignTest, UnsanctionedUpdateFlaggedAtAttestation) {
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision("rogue", kFwV1, "fw", EnforcementPolicy::kCfaBaseline);
+  dev.run_to_symbol("halt", 100000);
+
+  const crypto::Digest key = fleet.update_key("rogue");
+  casu::UpdateAuthority authority(
+      std::span<const uint8_t>(key.data(), key.size()));
+  ASSERT_EQ(dev.apply_update(authority.make_package(0xE800, 1, {0x03, 0x43})),
+            casu::UpdateStatus::kApplied);
+
+  auto verdict = fleet.verifier().attest(dev);
+  EXPECT_TRUE(verdict.mac_ok);
+  EXPECT_TRUE(verdict.seq_ok);
+  EXPECT_FALSE(verdict.path_ok);
+  ASSERT_TRUE(verdict.first_bad.has_value());
+  EXPECT_TRUE(verdict.first_bad->update);
+}
+
+// Forged campaign packages are refused per device and the device heals
+// by reset; the fleet's remaining devices update normally.
+TEST(UpdateCampaignTest, ForgedPackageHealsDeviceWithoutPerturbingFleet) {
+  Fleet fleet;
+  DeviceSession& good =
+      fleet.provision("good", kFwV1, "fw", EnforcementPolicy::kCfaBaseline);
+  DeviceSession& bad =
+      fleet.provision("bad", kFwV1, "fw", EnforcementPolicy::kCfaBaseline);
+  good.run_to_symbol("halt", 100000);
+  bad.run_to_symbol("halt", 100000);
+
+  UpdateCampaign campaign = fleet.stage_update(kFwV2, "fw", {.eilid = false});
+  casu::UpdatePackage forged = campaign.package_for(bad);
+  forged.mac[0] ^= 0xFF;
+  EXPECT_EQ(bad.apply_update(forged), casu::UpdateStatus::kBadMac);
+  bad.machine().run(100);
+  EXPECT_EQ(bad.last_reset_reason(), "update-auth");
+  EXPECT_EQ(bad.firmware_version(), 0u);
+
+  auto outcome = campaign.apply_to(good);
+  EXPECT_EQ(outcome.result, UpdateResult::kApplied);
+  good.machine().uart().clear_tx();
+  good.run_to_symbol("halt", 100000);
+  EXPECT_EQ(good.machine().uart().tx_text(), "222");
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    EXPECT_TRUE(verdict.mac_ok) << verdict.device_id;
+    EXPECT_TRUE(verdict.seq_ok) << verdict.device_id;
+  }
+}
+
+// A build-to-build diff is only applicable while the device's PMEM
+// still equals the from-image. A device patched out of band must be
+// refused -- applying the diff would leave memory matching neither
+// build while the session adopts the target's predecoded table.
+TEST(UpdateCampaignTest, DivergedDeviceRefusedCleanDeviceUpdates) {
+  Fleet fleet;
+  DeviceSession& diverged = fleet.provision("diverged", kFwV1, "fw",
+                                            EnforcementPolicy::kCfaBaseline);
+  DeviceSession& clean =
+      fleet.provision("clean", kFwV1, "fw", EnforcementPolicy::kCfaBaseline);
+  diverged.run_to_symbol("halt", 100000);
+  clean.run_to_symbol("halt", 100000);
+
+  // Out-of-band (but validly MAC'd) patch: the device's PMEM no longer
+  // matches its recorded build.
+  const crypto::Digest key = fleet.update_key("diverged");
+  casu::UpdateAuthority authority(
+      std::span<const uint8_t>(key.data(), key.size()));
+  ASSERT_EQ(
+      diverged.apply_update(authority.make_package(0xE800, 1, {0x03, 0x43})),
+      casu::UpdateStatus::kApplied);
+
+  UpdateCampaign campaign = fleet.stage_update(kFwV2, "fw", {.eilid = false});
+  auto outcome = campaign.apply_to(diverged);
+  EXPECT_EQ(outcome.result, UpdateResult::kImageMismatch);
+  EXPECT_FALSE(outcome.build_swapped);
+  EXPECT_EQ(diverged.firmware_version(), 1u);  // nothing newly applied
+  EXPECT_NE(diverged.shared_build().get(), campaign.target_build().get());
+
+  // The shared diff cache does not taint the clean device on the same
+  // from-build.
+  auto clean_outcome = campaign.apply_to(clean);
+  EXPECT_EQ(clean_outcome.result, UpdateResult::kApplied);
+}
+
+// Records every retired-instruction transition, fall-through included.
+class TraceMonitor : public sim::Monitor {
+ public:
+  struct Step {
+    uint16_t from, to, fallthrough;
+    bool operator==(const Step&) const = default;
+  };
+  void on_step(uint16_t from_pc, uint16_t to_pc,
+               uint16_t fallthrough) override {
+    steps_.push_back({from_pc, to_pc, fallthrough});
+  }
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+// Across an update, the predecoded core (old table -> interpretive
+// window during the patch -> new build's table) and the pure
+// interpretive core retire bit-identical traces and produce identical
+// attestation verdicts.
+TEST(UpdateCampaignTest, PostUpdatePredecodedMatchesInterpretive) {
+  struct VariantResult {
+    std::vector<TraceMonitor::Step> steps;
+    std::string tx;
+    uint64_t cycles = 0;
+    bool verdict_ok = false;
+    uint32_t seq = 0;
+    size_t edges = 0;
+  };
+  auto run_variant = [&](bool predecode) {
+    Fleet fleet;
+    SessionOptions options;
+    options.predecode = predecode;
+    DeviceSession& dev = fleet.provision(
+        "dev", kFwV1, "fw", EnforcementPolicy::kCfaBaseline, options);
+    TraceMonitor trace;
+    dev.machine().add_monitor(&trace);
+    dev.run_to_symbol("halt", 100000);
+    auto outcome =
+        fleet.stage_update(kFwV2, "fw", {.eilid = false}).apply_to(dev);
+    EXPECT_EQ(outcome.result, UpdateResult::kApplied);
+    dev.run_to_symbol("halt", 100000);
+    EXPECT_EQ(dev.machine().cpu().decode_cache_valid(), predecode);
+    auto verdict = fleet.verifier().attest(dev);
+    VariantResult r;
+    r.steps = trace.steps();
+    r.tx = dev.machine().uart().tx_text();
+    r.cycles = dev.machine().cycles();
+    r.verdict_ok = verdict.ok();
+    r.seq = verdict.seq;
+    r.edges = verdict.edges;
+    return r;
+  };
+
+  VariantResult cached = run_variant(true);
+  VariantResult interp = run_variant(false);
+  ASSERT_FALSE(cached.steps.empty());
+  EXPECT_EQ(cached.steps, interp.steps);
+  EXPECT_EQ(cached.tx, interp.tx);
+  EXPECT_EQ(cached.cycles, interp.cycles);
+  EXPECT_TRUE(cached.verdict_ok);
+  EXPECT_TRUE(interp.verdict_ok);
+  EXPECT_EQ(cached.seq, interp.seq);
+  EXPECT_EQ(cached.edges, interp.edges);
+}
+
+// A transition whose images differ outside PMEM (here: instrumented
+// target with an EILIDsw ROM vs plain from-build with none) cannot be
+// expressed as a CASU update and is reported, not applied.
+TEST(UpdateCampaignTest, NonPmemDifferenceIsIncompatible) {
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision("plain", kFwV1, "fw", EnforcementPolicy::kCasu);
+  auto instrumented = fleet.build(kFwV2, "fw");  // eilid build, has ROM
+  UpdateCampaign campaign = fleet.stage_update(instrumented);
+  auto outcome = campaign.apply_to(dev);
+  EXPECT_EQ(outcome.result, UpdateResult::kIncompatible);
+  EXPECT_FALSE(outcome.build_swapped);
+  EXPECT_EQ(dev.firmware_version(), 0u);
+  EXPECT_THROW(campaign.package_for(dev), FleetError);
+}
+
 // A report replayed to the verifier out of sequence is flagged even
 // though its MAC is genuine.
 TEST(VerifierServiceTest, SequenceGapFlagged) {

@@ -223,5 +223,124 @@ TEST(FleetConcurrency, VerifyAllMatchesSerialSweep) {
   }
 }
 
+// --------------------------------------------------- update campaigns
+
+const char* kTinyAppV2 = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    call #emit
+    call #emit
+    call #emit
+halt:
+    jmp halt
+emit:
+    mov.b #'y', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+
+// The acceptance-scale campaign: 64 devices complete a staged update
+// through Fleet::stage_update(); the pooled rollout's outcomes are
+// identical to the serial rollout's, every updated device attests ok()
+// against the new CFG, runs predecoded, and refuses a replayed
+// old-version package.
+TEST(FleetConcurrency, PooledCampaignMatchesSerialRollout) {
+  constexpr size_t kDevices = 64;
+
+  auto build_fleet = [&](Fleet& fleet) {
+    for (size_t i = 0; i < kDevices; ++i) {
+      DeviceSession& dev =
+          fleet.provision("node-" + std::to_string(i), kTinyApp, "tiny",
+                          EnforcementPolicy::kCfaBaseline);
+      dev.run_to_symbol("halt", 100000);
+    }
+  };
+  Fleet serial_fleet;
+  Fleet pooled_fleet;
+  build_fleet(serial_fleet);
+  build_fleet(pooled_fleet);
+
+  UpdateCampaign serial_campaign =
+      serial_fleet.stage_update(kTinyAppV2, "tiny", {.eilid = false});
+  UpdateCampaign pooled_campaign =
+      pooled_fleet.stage_update(kTinyAppV2, "tiny", {.eilid = false});
+  // A genuine pre-rollout package, replayed per device after the fact.
+  casu::UpdatePackage replayed =
+      pooled_campaign.package_for(pooled_fleet.at("node-7"));
+
+  common::ThreadPool pool(8);
+  auto serial = serial_campaign.roll_out();
+  auto pooled = pooled_campaign.roll_out(pool);
+
+  ASSERT_EQ(serial.size(), kDevices);
+  ASSERT_EQ(pooled.size(), kDevices);
+  for (size_t i = 0; i < kDevices; ++i) {
+    EXPECT_TRUE(serial[i] == pooled[i]) << serial[i].device_id;
+    EXPECT_EQ(pooled[i].result, UpdateResult::kApplied) << i;
+  }
+  // Target built once per fleet; every session swapped onto it.
+  EXPECT_EQ(pooled_fleet.pipeline_runs(), 2u);
+  for (auto* dev : pooled_fleet.sessions()) {
+    EXPECT_EQ(dev->shared_build().get(),
+              pooled_campaign.target_build().get());
+    dev->machine().uart().clear_tx();
+    dev->run_to_symbol("halt", 100000);
+    EXPECT_EQ(dev->machine().uart().tx_text(), "yyy") << dev->id();
+    EXPECT_TRUE(dev->machine().cpu().decode_cache_valid()) << dev->id();
+  }
+  for (const auto& verdict : pooled_fleet.verifier().verify_all(pool)) {
+    EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+  }
+  EXPECT_EQ(pooled_fleet.at("node-7").apply_update(replayed),
+            casu::UpdateStatus::kRollback);
+}
+
+// A pooled campaign racing a continuous attestation sweep: per-device
+// locking keeps every verdict clean -- the CFG epoch is staged under
+// the same session lock that logs the marker, so no sweep can drain an
+// unsanctioned marker (this is the TSan-interesting case).
+TEST(FleetConcurrency, CampaignRacesAttestationSweeps) {
+  Fleet fleet;
+  constexpr size_t kDevices = 12;
+  for (size_t i = 0; i < kDevices; ++i) {
+    DeviceSession& dev =
+        fleet.provision("racer-" + std::to_string(i), kTinyApp, "tiny",
+                        EnforcementPolicy::kCfaBaseline);
+    dev.run_to_symbol("halt", 100000);
+  }
+
+  UpdateCampaign campaign =
+      fleet.stage_update(kTinyAppV2, "tiny", {.eilid = false});
+  common::ThreadPool rollout_pool(4);
+  common::ThreadPool sweep_pool(2);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> sweeps{0};
+  std::thread attestor([&] {
+    while (!done.load()) {
+      for (const auto& verdict : fleet.verifier().verify_all(sweep_pool)) {
+        EXPECT_TRUE(verdict.attested) << verdict.device_id;
+        EXPECT_TRUE(verdict.mac_ok) << verdict.device_id;
+        EXPECT_TRUE(verdict.seq_ok) << verdict.device_id;
+        EXPECT_TRUE(verdict.path_ok) << verdict.device_id;
+      }
+      ++sweeps;
+    }
+  });
+  auto outcomes = campaign.roll_out(rollout_pool);
+  done.store(true);
+  attestor.join();
+
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.result, UpdateResult::kApplied) << outcome.device_id;
+    EXPECT_TRUE(outcome.cfg_staged) << outcome.device_id;
+  }
+  EXPECT_GE(sweeps.load(), 1u);
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+  }
+}
+
 }  // namespace
 }  // namespace eilid
