@@ -1,0 +1,220 @@
+// Staged-rollout throughput: a mixed-version fleet (half on firmware
+// v1, half on v2) rolled onto v3 through Fleet::plan_rollout() with a
+// 4-wave canary plan -- an explicit 4-device canary, then 25% / 50% /
+// the rest -- an 8-device A/B hold, a rate limit, and an attestation
+// gate after every wave. Each thread count in {1, 2, 4, 8} runs the
+// full plan (1 = the serial scheduler); a second, adversarial pass per
+// thread count forges one canary's transport under a zero failure
+// budget, so the timed path includes a halting run.
+//
+// Correctness gates (the bench FAILS on any violation):
+//   - clean plan: no halt, all 4 waves applied, every non-held device
+//     lands on v3 and its wave gate came back ok(),
+//   - held cohort devices never move, in both passes,
+//   - halting plan: exactly wave 1 applied, the forged canary is
+//     kBadMac, later waves' devices still run their old build,
+//   - each thread count's reports (clean and halting) are bit-identical
+//     to the serial reports (rollout determinism).
+// Devices/sec are reported but not gated (host-dependent).
+//
+// Usage: bench_rollout [--smoke]   (--smoke: CI-sized fleet)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/eilid/fleet.h"
+#include "src/eilid/rollout.h"
+
+using namespace eilid;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+std::string firmware(int generation) {
+  std::string s = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+)";
+  for (int i = 0; i < generation + 1; ++i) s += "    call #emit\n";
+  s += R"(halt:
+    jmp halt
+emit:
+    mov.b #')";
+  s += static_cast<char>('0' + generation);
+  s += R"(', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+  return s;
+}
+
+std::string device_id(size_t i) {
+  char buf[32];  // worst-case %zu needs more than 16 (-Wformat-truncation)
+  std::snprintf(buf, sizeof(buf), "dev-%03zu", i);
+  return buf;
+}
+
+constexpr size_t kHeld = 8;       // trailing devices pinned in the A/B hold
+constexpr size_t kCanaries = 4;   // explicit first wave
+
+struct RowResult {
+  size_t threads = 0;
+  size_t devices = 0;
+  double clean_ms = 0;
+  double halting_ms = 0;
+  bool gates_ok = true;
+  RolloutReport clean;    // compared field-wise across rows
+  RolloutReport halting;  // ditto
+};
+
+RolloutPlan make_plan(size_t devices) {
+  RolloutPlan plan;
+  HoldSpec hold{"ab-cohort", {}};
+  for (size_t i = devices - kHeld; i < devices; ++i) {
+    hold.device_ids.push_back(device_id(i));
+  }
+  plan.holds.push_back(std::move(hold));
+  WaveSpec canary{"canary", {}, 0.0};
+  for (size_t i = 0; i < kCanaries; ++i) {
+    canary.device_ids.push_back(device_id(i));
+  }
+  plan.waves = {canary,
+                {"quarter", {}, 0.25},
+                {"half", {}, 0.5},
+                {"rest", {}, 1.0}};
+  plan.max_in_flight = 32;
+  return plan;
+}
+
+RowResult run_row(size_t threads, size_t devices) {
+  RowResult row;
+  row.threads = threads;
+  row.devices = devices;
+  const bool serial = threads == 1;
+  common::ThreadPool pool(threads);
+
+  auto build_fleet = [&](Fleet& fleet) {
+    for (size_t i = 0; i < devices; ++i) {
+      DeviceSession& dev = fleet.provision(
+          device_id(i), firmware(i % 2 == 0 ? 1 : 2), "fw",
+          EnforcementPolicy::kCfaBaseline);
+      dev.run_to_symbol("halt", 100000);
+    }
+  };
+
+  // --- clean pass: the plan completes, every wave gated. ---
+  {
+    Fleet fleet;
+    build_fleet(fleet);
+    auto target = fleet.build(firmware(3), "fw", {.eilid = false});
+    CampaignScheduler scheduler =
+        fleet.plan_rollout(target, make_plan(devices));
+    auto t0 = clock_type::now();
+    row.clean = serial ? scheduler.run() : scheduler.run(pool);
+    row.clean_ms = ms_since(t0);
+
+    if (row.clean.halted || row.clean.waves_applied != 4) row.gates_ok = false;
+    size_t gated_ok = 0;
+    for (const WaveOutcome& wave : row.clean.waves) {
+      for (const auto& verdict : wave.gate) {
+        if (verdict.ok()) ++gated_ok;
+      }
+      for (const auto& update : wave.updates) {
+        if (update.result != UpdateResult::kApplied) row.gates_ok = false;
+      }
+    }
+    if (gated_ok != devices - kHeld) row.gates_ok = false;
+    for (size_t i = 0; i < devices; ++i) {
+      DeviceSession& dev = fleet.at(device_id(i));
+      const bool held = i >= devices - kHeld;
+      const bool on_target = dev.shared_build().get() == target.get();
+      if (held == on_target) row.gates_ok = false;
+    }
+  }
+
+  // --- halting pass: forged canary, zero budget. ---
+  {
+    Fleet fleet;
+    build_fleet(fleet);
+    auto target = fleet.build(firmware(3), "fw", {.eilid = false});
+    CampaignOptions options;
+    options.tamper = [](const DeviceSession& dev,
+                        casu::UpdatePackage& package) {
+      if (dev.id() == device_id(0)) package.mac[0] ^= 0xFF;
+    };
+    CampaignScheduler scheduler =
+        fleet.plan_rollout(target, make_plan(devices), options);
+    auto t0 = clock_type::now();
+    row.halting = serial ? scheduler.run() : scheduler.run(pool);
+    row.halting_ms = ms_since(t0);
+
+    if (!row.halting.halted || row.halting.waves_applied != 1) {
+      row.gates_ok = false;
+    }
+    if (row.halting.waves.empty() ||
+        row.halting.waves[0].updates.empty() ||
+        row.halting.waves[0].updates[0].result != UpdateResult::kBadMac) {
+      row.gates_ok = false;
+    }
+    // Later waves stayed on their old builds; the hold never moved.
+    for (size_t i = kCanaries; i < devices; ++i) {
+      if (fleet.at(device_id(i)).shared_build().get() == target.get()) {
+        row.gates_ok = false;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const size_t devices = smoke ? 64 : 256;
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+  std::vector<RowResult> rows;
+  for (size_t threads : kThreadCounts) {
+    rows.push_back(run_row(threads, devices));
+  }
+  const RowResult& base = rows[0];
+
+  std::printf("Staged rollout (%s): %zu devices, 4-wave canary plan, "
+              "%zu-device A/B hold, attestation gate per wave\n",
+              smoke ? "smoke" : "full", devices, kHeld);
+  std::printf("%7s | %12s | %14s | %11s | %8s\n", "threads", "clean ms",
+              "halting ms", "devices/sec", "speedup");
+  bool ok = true;
+  for (const RowResult& row : rows) {
+    std::printf("%7zu | %12.2f | %14.2f | %11.0f | %7.2fx\n", row.threads,
+                row.clean_ms, row.halting_ms,
+                row.clean_ms > 0 ? 1000.0 * static_cast<double>(
+                                       row.devices - kHeld) / row.clean_ms
+                                 : 0.0,
+                row.clean_ms > 0 ? base.clean_ms / row.clean_ms : 0.0);
+    if (!row.gates_ok) {
+      std::printf("  !! threads=%zu: correctness gate failed\n", row.threads);
+      ok = false;
+    }
+    if (!(row.clean == base.clean) || !(row.halting == base.halting)) {
+      std::printf("  !! threads=%zu: reports diverge from the serial row\n",
+                  row.threads);
+      ok = false;
+    }
+  }
+  std::printf("reports: %zu waves per plan, bit-identical across all "
+              "thread counts\n", base.clean.waves.size());
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Canary-then-widen walkthrough: a fleet moves to new firmware through
+// a staged RolloutPlan -- a 2-device canary wave, then the rest of the
+// fleet, with an A/B cohort held back on v1 for comparison and an
+// attestation gate after every wave. A second, adversarial plan shows
+// the failure budget doing its job: a forged package in the canary
+// halts the rollout before the wide wave, so the bulk of the fleet
+// never sees the bad campaign.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "src/eilid/fleet.h"
+#include "src/eilid/rollout.h"
+
+using namespace eilid;
+
+namespace {
+
+std::string app_version(char marker) {
+  std::string s = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    mov.b #')";
+  s += marker;
+  s += R"(', &UART_TX
+halt:
+    jmp halt
+.vector 15, main
+.end
+)";
+  return s;
+}
+
+void print_report(const char* title, const RolloutReport& report) {
+  std::printf("%s\n", title);
+  for (const WaveOutcome& wave : report.waves) {
+    std::printf("  wave '%s' (%zu devices): %s, %zu failed / %zu allowed\n",
+                wave.name.c_str(), wave.device_ids.size(),
+                wave.applied ? "applied" : "NOT APPLIED", wave.failures,
+                wave.allowance);
+    for (const UpdateOutcome& update : wave.updates) {
+      std::printf("    update %s: %s (v%u -> v%u)\n",
+                  update.device_id.c_str(),
+                  std::string(update_result_name(update.result)).c_str(),
+                  update.version_before, update.version_after);
+    }
+    for (const auto& verdict : wave.gate) {
+      std::printf("    gate   %s: %s\n", verdict.device_id.c_str(),
+                  verdict.ok() ? "attests ok" : "CONVICTED");
+    }
+  }
+  if (report.halted) {
+    std::printf("  HALTED: %s\n", report.halt_reason.c_str());
+  } else {
+    std::printf("  completed: %zu/%zu waves applied\n", report.waves_applied,
+                report.waves.size());
+  }
+}
+
+// Probe: run every wave device between its update and its gate, so
+// the gate judges evidence from the new firmware actually executing.
+void drive_wave(const std::vector<DeviceSession*>& wave,
+                common::ThreadPool*) {
+  for (DeviceSession* dev : wave) {
+    std::lock_guard<std::mutex> lock(dev->mutex());
+    dev->machine().run(64);  // absorb any latched enforcement reset
+    dev->run_to_symbol("halt", 10000);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Fleet fleet;
+  // Eight field units on v1; unit-6/unit-7 are the pinned A/B cohort.
+  for (int i = 0; i < 8; ++i) {
+    DeviceSession& dev =
+        fleet.provision("unit-" + std::to_string(i), app_version('1'), "fw",
+                        EnforcementPolicy::kCfaBaseline);
+    dev.run_to_symbol("halt", 10000);
+  }
+
+  RolloutPlan plan;
+  plan.holds = {{"ab-cohort", {"unit-6", "unit-7"}}};
+  plan.waves = {{.name = "canary", .device_ids = {"unit-0", "unit-1"}},
+                {.name = "rest", .fraction = 1.0}};
+  plan.probe = drive_wave;  // budget defaults to zero tolerance
+
+  // --- v2: a clean canary-then-widen rollout. ---
+  auto v2 = fleet.build(app_version('2'), "fw", {.eilid = false});
+  print_report("rollout to v2 (clean):",
+               fleet.plan_rollout(v2, plan).run());
+
+  // --- v3: the canary's transport is compromised; budget 0 halts the
+  // plan before the wide wave ever applies. ---
+  auto v3 = fleet.build(app_version('3'), "fw", {.eilid = false});
+  CampaignOptions compromised;
+  compromised.tamper = [](const DeviceSession& dev,
+                          casu::UpdatePackage& package) {
+    if (dev.id() == "unit-0") package.mac[0] ^= 0xFF;
+  };
+  print_report("rollout to v3 (forged canary, budget 0):",
+               fleet.plan_rollout(v3, plan, compromised).run());
+
+  // The wide wave never moved: unit-2..5 still run v2, and the held
+  // A/B cohort still runs v1.
+  for (auto* dev : fleet.sessions()) {
+    dev->machine().uart().clear_tx();
+    dev->power_cycle();
+    dev->run_to_symbol("halt", 10000);
+    std::printf("%s now transmits '%c'\n", dev->id().c_str(),
+                dev->machine().uart().tx_text()[0]);
+  }
+  return 0;
+}

@@ -1001,4 +1001,26 @@ std::vector<WorkloadOutcome> run_workload_all(
   return outcomes;
 }
 
+eilid::WaveProbe wave_workload(const AppSpec& app, uint64_t cycle_budget) {
+  // The spec is copied into the closure: a probe outlives the call
+  // (it sits inside a RolloutPlan), so capturing the caller's
+  // reference would dangle for any non-static AppSpec.
+  return [spec = app, cycle_budget](const std::vector<DeviceSession*>& wave,
+                                    common::ThreadPool* pool) {
+    if (pool != nullptr) {
+      std::vector<FleetWorkload> items;
+      items.reserve(wave.size());
+      for (DeviceSession* session : wave) {
+        items.push_back({session, &spec, cycle_budget});
+      }
+      run_workload_all(items, *pool);
+      return;
+    }
+    for (DeviceSession* session : wave) {
+      std::lock_guard<std::mutex> lock(session->mutex());
+      run_workload(*session, spec, cycle_budget);
+    }
+  };
+}
+
 }  // namespace eilid::apps

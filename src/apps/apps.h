@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "eilid/rollout.h"
 #include "eilid/session.h"
 #include "sim/machine.h"
 
@@ -78,6 +79,16 @@ struct FleetWorkload {
 // input order; the first exception any workload throws is rethrown.
 std::vector<WorkloadOutcome> run_workload_all(
     const std::vector<FleetWorkload>& items, common::ThreadPool& pool);
+
+// Rollout-wave probe: drives `app` on every device of a wave between
+// the wave's apply and its attestation gate, so freshly updated
+// devices produce post-update evidence for the gate to judge. Takes
+// each session's mutex() while driving it (per the WaveProbe
+// contract); with a pool the wave fans out via run_workload_all(),
+// serially each device runs in membership order -- either way the
+// devices' resulting state is identical. The spec is copied into the
+// probe, so a temporary AppSpec is safe to pass.
+eilid::WaveProbe wave_workload(const AppSpec& app, uint64_t cycle_budget = 0);
 
 }  // namespace eilid::apps
 

@@ -5,6 +5,7 @@
 
 #include "cfa/cfg.h"
 #include "common/error.h"
+#include "eilid/rollout.h"
 
 namespace eilid {
 
@@ -200,6 +201,51 @@ std::vector<VerifierService::AttestResult> VerifierService::verify_all(
   return out;
 }
 
+std::vector<DeviceSession*> VerifierService::ordered_subset(
+    const std::vector<DeviceSession*>& sessions) {
+  std::vector<DeviceSession*> ordered;
+  ordered.reserve(sessions.size());
+  for (DeviceSession* session : sessions) {
+    if (session == nullptr) {
+      throw FleetError("verifier: subset sweep over a null session");
+    }
+    ordered.push_back(session);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DeviceSession* a, const DeviceSession* b) {
+              return a->id() < b->id();
+            });
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i - 1]->id() == ordered[i]->id()) {
+      throw FleetError("verifier: subset sweep lists device id '" +
+                       ordered[i]->id() + "' twice");
+    }
+  }
+  return ordered;
+}
+
+std::vector<VerifierService::AttestResult> VerifierService::verify_all(
+    const std::vector<DeviceSession*>& sessions) {
+  std::vector<DeviceSession*> ordered = ordered_subset(sessions);
+  std::vector<AttestResult> out;
+  out.reserve(ordered.size());
+  // attest() is the per-device subset body: it degrades to an
+  // attested = false entry for monitor-less sessions, enrolls CFA
+  // sessions on first contact, and takes the per-device locks -- the
+  // same semantics per device as the whole-fleet sweep.
+  for (DeviceSession* session : ordered) out.push_back(attest(*session));
+  return out;
+}
+
+std::vector<VerifierService::AttestResult> VerifierService::verify_all(
+    const std::vector<DeviceSession*>& sessions, common::ThreadPool& pool) {
+  std::vector<DeviceSession*> ordered = ordered_subset(sessions);
+  std::vector<AttestResult> out(ordered.size());
+  pool.parallel_for(ordered.size(),
+                    [&](size_t i) { out[i] = attest(*ordered[i]); });
+  return out;
+}
+
 // ------------------------------------------------------------------
 // Fleet
 // ------------------------------------------------------------------
@@ -328,6 +374,18 @@ UpdateCampaign Fleet::stage_update(const std::string& source,
                                    const core::BuildOptions& build_options,
                                    CampaignOptions options) {
   return stage_update(build(source, name, build_options), options);
+}
+
+CampaignScheduler Fleet::plan_rollout(UpdateCampaign campaign,
+                                      RolloutPlan plan) {
+  return CampaignScheduler(*this, std::move(campaign), std::move(plan));
+}
+
+CampaignScheduler Fleet::plan_rollout(
+    std::shared_ptr<const core::BuildResult> target, RolloutPlan plan,
+    CampaignOptions options) {
+  return plan_rollout(stage_update(std::move(target), std::move(options)),
+                      std::move(plan));
 }
 
 Fleet::Shard& Fleet::shard_for(const std::string& device_id) {

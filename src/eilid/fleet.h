@@ -26,7 +26,15 @@
 //     predecoded table, symbols) and stages a replay-CFG swap with the
 //     verifier at the epoch marker the device logged, so pre-update
 //     evidence replays against the old CFG and post-update evidence
-//     against the new.
+//     against the new,
+//   - staged rollouts (plan_rollout() -> eilid::CampaignScheduler,
+//     src/eilid/rollout.h): canary waves, percentage cuts, held A/B
+//     cohorts, failure budgets and rate limits layered over a
+//     campaign. Each wave applies, runs an optional workload probe,
+//     then passes an attestation *gate* -- a verifier subset sweep
+//     over just that wave -- and the plan promotes to the next wave
+//     only while failures stay within budget. Attestation verdicts
+//     drive fleet control flow here, not just reporting.
 //
 //   eilid::Fleet fleet;
 //   auto& dev = fleet.provision("door-7", source, "gateway",
@@ -50,7 +58,10 @@
 //     - VerifierService::enroll()/attest()/verify_all()/enrolled():
 //       each attestation locks its DeviceSession (per-device locking),
 //       so disjoint devices attest in parallel and the same device is
-//       never attested twice at once.
+//       never attested twice at once. The subset verify_all(sessions)
+//       overloads keep the same contract: a wave gate and a concurrent
+//       whole-fleet sweep serialize per device and interleave across
+//       devices.
 //     - apps::run_workload_all(): drives disjoint sessions
 //       concurrently, taking each session's lock for the duration.
 //     - UpdateCampaign::apply_to()/roll_out(): each device updates
@@ -61,6 +72,11 @@
 //       The CFG epoch is staged while the device's lock is still held,
 //       so a sweep can never drain an update marker the verifier has
 //       not been told about.
+//     - CampaignScheduler::run(pool): wave applies, probes and gate
+//       sweeps all ride the per-device locks above; the pooled run's
+//       report is bit-identical to the serial run()'s. The scheduler
+//       object itself is not shared across threads -- one run at a
+//       time per scheduler.
 //
 //   Requires external synchronization:
 //     - A DeviceSession itself is single-threaded: do not call run()/
@@ -98,6 +114,9 @@
 
 namespace eilid {
 
+class CampaignScheduler;
+struct RolloutPlan;
+
 // Verifier half of the CFA baseline, fleet-wide: one instance tracks
 // every enrolled device's MAC key, challenge nonce and stateful path
 // replay *independently*, so one device's compromise (or power cycle)
@@ -119,6 +138,11 @@ class VerifierService {
     std::optional<cfa::LoggedEdge> first_bad;
 
     bool ok() const { return attested && mac_ok && seq_ok && path_ok; }
+
+    // Field-wise equality: the rollout determinism gates (pooled wave
+    // gate == serial wave gate) compare whole verdicts, so a new field
+    // is covered automatically.
+    bool operator==(const AttestResult&) const = default;
   };
 
   // Register a session for attestation: extracts the CFG from its
@@ -146,6 +170,25 @@ class VerifierService {
   // feed the per-report MAC.
   std::vector<AttestResult> verify_all();
   std::vector<AttestResult> verify_all(common::ThreadPool& pool);
+
+  // Subset sweep: attest exactly `sessions` (a rollout wave, a canary
+  // cohort) instead of every enrolled device -- devices outside the
+  // subset are not swept, so a wave gate never drains evidence from
+  // devices still on the old build. Results come back in
+  // enrollment-id order regardless of the input order, matching the
+  // whole-fleet sweep's contract, and each attestation takes the
+  // device's session mutex, so a subset sweep interleaves safely with
+  // a concurrent full sweep or workload driver. A session with no CFA
+  // monitor yields an attested = false entry (never ok()); an
+  // un-enrolled CFA session is enrolled on first contact, exactly like
+  // attest(). Throws eilid::FleetError on a null session or a
+  // duplicate device id in the subset. The pooled overload fans out
+  // with per-device locking and returns results identical to the
+  // serial subset sweep.
+  std::vector<AttestResult> verify_all(
+      const std::vector<DeviceSession*>& sessions);
+  std::vector<AttestResult> verify_all(
+      const std::vector<DeviceSession*>& sessions, common::ThreadPool& pool);
 
   // Forget a device (its session is going away). Must not race a
   // sweep or attest() of the same device.
@@ -179,6 +222,11 @@ class VerifierService {
   // aliased id can never present another device's evidence.
   AttestResult attest_device(DeviceState& state, DeviceSession& session);
   std::vector<DeviceState*> sweep_snapshot();
+  // Validated copy of a subset in enrollment-id order (throws on null
+  // pointers and duplicate ids) -- the one definition both subset
+  // sweep flavors share.
+  static std::vector<DeviceSession*> ordered_subset(
+      const std::vector<DeviceSession*>& sessions);
 
   mutable std::mutex mu_;  // guards devices_ (the map structure only;
                            // per-device state is guarded by the
@@ -267,6 +315,18 @@ class Fleet {
                               const std::string& name,
                               const core::BuildOptions& build_options = {},
                               CampaignOptions options = {});
+
+  // --- staged rollouts ---------------------------------------------
+  // Wrap a campaign in a CampaignScheduler executing `plan`: canary
+  // waves with attestation gates, failure budgets, held A/B cohorts
+  // and rate limits -- see eilid/rollout.h for the plan grammar,
+  // report shape and concurrency contract. Callers include
+  // eilid/rollout.h for the returned type.
+  CampaignScheduler plan_rollout(UpdateCampaign campaign, RolloutPlan plan);
+  // Convenience: stage the target build into a campaign first.
+  CampaignScheduler plan_rollout(
+      std::shared_ptr<const core::BuildResult> target, RolloutPlan plan,
+      CampaignOptions options = {});
 
   VerifierService& verifier() { return verifier_; }
 

@@ -1,0 +1,170 @@
+// Staged-rollout orchestration over update campaigns: the first
+// subsystem where attestation verdicts feed back into fleet control
+// flow instead of just being reported. A RolloutPlan is an ordered
+// list of waves -- explicit device sets or percentage cuts of the
+// registry -- plus named A/B cohorts *held* on their current build,
+// a per-plan FailureBudget, and an optional rate limit. The
+// CampaignScheduler executes the plan wave by wave:
+//
+//   1. apply the campaign to the wave's devices (under the existing
+//      per-device session locks; at most max_in_flight at once),
+//   2. run the wave probe, if any (normally a workload driver, so the
+//      gate judges evidence from the *new* firmware actually running),
+//   3. run the attestation gate: a VerifierService subset sweep over
+//      just that wave (devices still on the old build are not swept),
+//   4. promote to the next wave only while the number of failed
+//      devices stays within the budget; on a breach the scheduler
+//      halts, later waves stay on their current build, and the report
+//      carries per-wave outcomes plus the halt reason.
+//
+// A device fails its wave when its update outcome is not ok()
+// (forged/tampered package, rollback, image mismatch, incompatible
+// transition) or when its gate verdict convicts it (attested but not
+// ok() -- e.g. a control-flow hijack the CFA log reveals). Held
+// devices are never updated, never swept, and never counted.
+//
+//   eilid::RolloutPlan plan;
+//   plan.holds = {{"ab-cohort", {"unit-f", "unit-g"}}};
+//   plan.waves = {{.name = "canary", .device_ids = {"unit-a"}},
+//                 {.name = "rest", .fraction = 1.0}};
+//   auto report = fleet.plan_rollout(v2, plan).run(pool);
+//   if (report.halted) { /* canary burned; the fleet did not */ }
+//
+// Concurrency contract: run(pool) applies updates, probes and gates
+// over the pool with the same per-device locking as
+// UpdateCampaign::roll_out() and VerifierService::verify_all(); its
+// report is bit-identical to the serial run()'s -- wave membership is
+// resolved up front from the plan and the registry snapshot, every
+// per-device outcome depends only on that device's own state, and the
+// halt decision is a pure function of the per-wave verdicts.
+#ifndef EILID_EILID_ROLLOUT_H
+#define EILID_EILID_ROLLOUT_H
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eilid/fleet.h"
+#include "eilid/update.h"
+
+namespace eilid {
+
+// How many failed devices one wave may absorb before the plan halts:
+// an absolute count and/or a fraction of the wave, whichever allows
+// more. The default tolerates nothing.
+struct FailureBudget {
+  size_t max_count = 0;
+  double max_fraction = 0.0;  // of the wave's size, floor()ed
+
+  size_t allowance(size_t wave_size) const {
+    const auto by_fraction =
+        static_cast<size_t>(max_fraction * static_cast<double>(wave_size));
+    return std::max(max_count, by_fraction);
+  }
+};
+
+// One wave: either an explicit device set, or a fraction of the
+// *eligible remainder* (registered devices not held and not claimed by
+// an earlier wave, in deployment order; 1.0 takes everything left).
+// Exactly one of the two must be set. Held devices named explicitly
+// are skipped, not updated.
+struct WaveSpec {
+  std::string name;                     // "" -> "wave-<N>" in the report
+  std::vector<std::string> device_ids;  // explicit membership ...
+  double fraction = 0.0;                // ... or a cut of the remainder
+};
+
+// A named A/B cohort pinned to whatever build it currently runs. The
+// scheduler must skip its devices: they join no wave, no gate sweeps
+// them, and the report lists them so the hold is auditable.
+struct HoldSpec {
+  std::string name;
+  std::vector<std::string> device_ids;
+};
+
+// Runs between a wave's apply and its attestation gate -- normally a
+// workload driver (see apps::wave_workload) so freshly updated devices
+// produce post-update evidence for the gate to judge. `pool` is null
+// on a serial run. The probe must take each session's mutex() while
+// driving it (apps::wave_workload does).
+using WaveProbe =
+    std::function<void(const std::vector<DeviceSession*>&,
+                       common::ThreadPool*)>;
+
+struct RolloutPlan {
+  std::vector<WaveSpec> waves;
+  FailureBudget budget;
+  std::vector<HoldSpec> holds;
+  // Max devices being updated at once within a wave (0 = no limit
+  // beyond the pool's width). Serial runs are inherently 1-in-flight.
+  size_t max_in_flight = 0;
+  WaveProbe probe;  // optional
+};
+
+// Per-wave slice of the report. Later waves of a halted plan are
+// still reported (membership, allowance) with applied = false.
+struct WaveOutcome {
+  std::string name;
+  std::vector<std::string> device_ids;  // resolved membership order
+  std::vector<UpdateOutcome> updates;   // one per device, same order
+  // Attestation gate verdicts over exactly this wave, in
+  // enrollment-id order (the subset-sweep contract).
+  std::vector<VerifierService::AttestResult> gate;
+  size_t failures = 0;   // distinct devices failing update and/or gate
+  size_t allowance = 0;  // budget.allowance(wave size)
+  bool applied = false;  // campaign + gate ran on this wave
+  bool within_budget = false;  // failures <= allowance (when applied)
+
+  bool operator==(const WaveOutcome&) const = default;
+};
+
+struct RolloutReport {
+  std::vector<WaveOutcome> waves;  // one per plan wave, in plan order
+  std::vector<std::string> held;   // ids pinned by holds, sorted
+  size_t waves_applied = 0;
+  bool halted = false;
+  std::string halt_reason;  // "" unless halted
+
+  bool ok() const { return !halted; }
+  bool operator==(const RolloutReport&) const = default;
+};
+
+// Executes one RolloutPlan over one UpdateCampaign. Created by
+// Fleet::plan_rollout(). run() may be called repeatedly (a re-run
+// sees devices already on the target as kAlreadyCurrent); each run
+// resolves wave membership afresh against the current registry.
+// Throws eilid::FleetError on a malformed plan: a wave with both (or
+// neither) of device_ids/fraction, a fraction outside [0, 1], an
+// unknown device id, or a device claimed by two waves.
+class CampaignScheduler {
+ public:
+  const RolloutPlan& plan() const { return plan_; }
+  const UpdateCampaign& campaign() const { return campaign_; }
+
+  RolloutReport run();
+  RolloutReport run(common::ThreadPool& pool);
+
+ private:
+  friend class Fleet;
+  CampaignScheduler(Fleet& fleet, UpdateCampaign campaign, RolloutPlan plan);
+
+  struct Resolved {
+    std::vector<std::vector<DeviceSession*>> waves;
+    std::vector<std::string> held;
+  };
+  Resolved resolve() const;
+  RolloutReport execute(common::ThreadPool* pool);
+  std::vector<UpdateOutcome> apply_wave(
+      const std::vector<DeviceSession*>& wave, common::ThreadPool* pool);
+
+  Fleet* fleet_;
+  UpdateCampaign campaign_;
+  RolloutPlan plan_;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_ROLLOUT_H

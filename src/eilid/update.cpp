@@ -112,7 +112,10 @@ UpdateOutcome UpdateCampaign::apply_locked(DeviceSession& session) {
     }
   }
 
-  const casu::UpdatePackage package = package_locked(session, *state.diff);
+  casu::UpdatePackage package = package_locked(session, *state.diff);
+  // The transport between authority and device is where an adversary
+  // lives; the hook mutates what the device actually receives.
+  if (options_.tamper) options_.tamper(session, package);
   out.regions = package.regions.size();
   out.payload_bytes = state.diff->payload_bytes;
   switch (session.apply_update(package)) {

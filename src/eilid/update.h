@@ -24,6 +24,7 @@
 #ifndef EILID_EILID_UPDATE_H
 #define EILID_EILID_UPDATE_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -87,6 +88,17 @@ struct CampaignOptions {
   // lands in the CFA log *after* the epoch marker, so replay swaps
   // CFGs first, then restarts clean at the new reset vector.
   bool power_cycle = true;
+  // Adversary-in-the-transport hook (scenario tests, chaos drills):
+  // invoked with each freshly authority-MAC'd package before the
+  // device verifies it; whatever it leaves behind is what the device
+  // receives. A tampered package fails device-side authentication
+  // (kBadMac) and the device heals by reset -- exactly the forged
+  // canary the rollout scenario matrix drives through wave gates.
+  // Must be deterministic for the pooled == serial outcome contract,
+  // and thread-safe: a pooled rollout invokes it concurrently from
+  // worker threads (decide from the device and package arguments
+  // alone rather than mutating captured state).
+  std::function<void(const DeviceSession&, casu::UpdatePackage&)> tamper;
 };
 
 // One staged rollout of a target build across fleet sessions. Created

@@ -165,6 +165,10 @@ TEST(FleetConcurrency, WorkloadsRaceAttestationSweeps) {
     }
   });
   auto outcomes = apps::run_workload_all(work, workers);
+  // Under heavy parallel test load the workloads can win the race
+  // outright; hold the attestor open until it has finished at least
+  // one full sweep so the >= 1 assertion below is load-independent.
+  while (sweeps.load() == 0) std::this_thread::yield();
   done.store(true);
   attestor.join();
 
@@ -221,6 +225,115 @@ TEST(FleetConcurrency, VerifyAllMatchesSerialSweep) {
       EXPECT_LT(pooled[i - 1].device_id, pooled[i].device_id);
     }
   }
+}
+
+// The subset sweep (a rollout wave gate) keeps the whole-fleet sweep's
+// contract: enrollment-id ordering regardless of input order, pooled
+// results identical to serial, and coverage of exactly the subset --
+// devices outside it are not drained.
+TEST(FleetConcurrency, SubsetSweepMatchesSerialAndKeepsOrder) {
+  const auto& app = apps::app_by_name("light_sensor");
+
+  auto build_fleet = [&](Fleet& fleet) {
+    for (int i = 0; i < 10; ++i) {
+      DeviceSession& dev = fleet.provision(
+          "dev-" + std::to_string(i), app.source, app.name,
+          EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 65536}});
+      apps::run_workload(dev, app);
+    }
+  };
+  Fleet serial_fleet;
+  Fleet pooled_fleet;
+  build_fleet(serial_fleet);
+  build_fleet(pooled_fleet);
+
+  // Every other device, deliberately in reverse deployment order.
+  auto pick = [](Fleet& fleet) {
+    std::vector<DeviceSession*> subset;
+    for (int i = 8; i >= 0; i -= 2) {
+      subset.push_back(&fleet.at("dev-" + std::to_string(i)));
+    }
+    return subset;
+  };
+
+  common::ThreadPool pool(4);
+  auto serial = serial_fleet.verifier().verify_all(pick(serial_fleet));
+  auto pooled = pooled_fleet.verifier().verify_all(pick(pooled_fleet), pool);
+  ASSERT_EQ(serial.size(), 5u);
+  ASSERT_EQ(pooled.size(), 5u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == pooled[i]) << serial[i].device_id;
+    EXPECT_TRUE(pooled[i].ok()) << pooled[i].device_id;
+    EXPECT_EQ(pooled[i].device_id, "dev-" + std::to_string(2 * i));
+  }
+  for (size_t i = 1; i < pooled.size(); ++i) {
+    EXPECT_LT(pooled[i - 1].device_id, pooled[i].device_id);
+  }
+
+  // Unswept devices kept their evidence: the next full sweep still
+  // sees every device at its own expected sequence number.
+  for (const auto& verdict : pooled_fleet.verifier().verify_all()) {
+    EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+    const bool swept_before = (verdict.device_id[4] - '0') % 2 == 0;
+    EXPECT_EQ(verdict.seq, swept_before ? 1u : 0u) << verdict.device_id;
+  }
+
+  // Malformed subsets are typed errors, not UB.
+  DeviceSession& dup = serial_fleet.at("dev-0");
+  EXPECT_THROW(serial_fleet.verifier().verify_all(
+                   std::vector<DeviceSession*>{&dup, &dup}),
+               FleetError);
+  EXPECT_THROW(serial_fleet.verifier().verify_all(
+                   std::vector<DeviceSession*>{nullptr}),
+               FleetError);
+}
+
+// A rollout wave gate racing a concurrent whole-fleet sweep (this is
+// the TSan-interesting case for the subset overload): both drain the
+// same devices' logs and advance the same replay state, so per-device
+// locking must serialize them per device while they interleave across
+// devices. Devices are parked, so every interleaving yields clean
+// verdicts.
+TEST(FleetConcurrency, WaveGateRacesFullSweep) {
+  Fleet fleet;
+  constexpr size_t kDevices = 12;
+  for (size_t i = 0; i < kDevices; ++i) {
+    DeviceSession& dev =
+        fleet.provision("gate-" + std::to_string(i), kTinyApp, "tiny",
+                        EnforcementPolicy::kCfaBaseline);
+    dev.run_to_symbol("halt", 100000);
+  }
+  // The wave: the first half of the fleet.
+  std::vector<DeviceSession*> wave;
+  for (size_t i = 0; i < kDevices / 2; ++i) {
+    wave.push_back(&fleet.at("gate-" + std::to_string(i)));
+  }
+
+  common::ThreadPool sweep_pool(2);
+  common::ThreadPool gate_pool(2);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> sweeps{0};
+  std::thread attestor([&] {
+    while (!done.load()) {
+      for (const auto& verdict : fleet.verifier().verify_all(sweep_pool)) {
+        EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+      }
+      ++sweeps;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    auto gate = fleet.verifier().verify_all(wave, gate_pool);
+    ASSERT_EQ(gate.size(), wave.size());
+    for (size_t i = 0; i < gate.size(); ++i) {
+      EXPECT_TRUE(gate[i].ok()) << gate[i].device_id;
+      if (i > 0) EXPECT_LT(gate[i - 1].device_id, gate[i].device_id);
+    }
+  }
+  // The gates must genuinely have raced at least one full sweep.
+  while (sweeps.load() == 0) std::this_thread::yield();
+  done.store(true);
+  attestor.join();
+  EXPECT_GE(sweeps.load(), 1u);
 }
 
 // --------------------------------------------------- update campaigns
@@ -329,6 +442,9 @@ TEST(FleetConcurrency, CampaignRacesAttestationSweeps) {
     }
   });
   auto outcomes = campaign.roll_out(rollout_pool);
+  // As above: don't let a fast rollout beat the attestor to zero
+  // sweeps under load.
+  while (sweeps.load() == 0) std::this_thread::yield();
   done.store(true);
   attestor.join();
 

@@ -1,0 +1,396 @@
+// Adversarial scenario matrix for staged rollouts: every wave /
+// budget / cohort path of the CampaignScheduler is proven under
+// attack, not just on the happy path. The matrix crosses
+//
+//   fault   {clean wave, forged package in the canary, CFA hijack
+//            detected at the wave gate, device diverged out-of-band
+//            (kImageMismatch)}
+// x budget  {zero (nothing tolerated), tolerant (one canary may burn)}
+// x mode    {serial run(), pooled run(pool)}
+//
+// and asserts, per cell: which waves applied, whether (and why) the
+// scheduler halted, that held A/B cohorts never moved, that the
+// devices of never-applied waves still attest clean on the *old*
+// build, and that the pooled run's report is bit-identical to the
+// serial run's.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.h"
+#include "attacks/attack.h"
+#include "attacks/gadgets.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "eilid/fleet.h"
+#include "eilid/rollout.h"
+
+namespace eilid {
+namespace {
+
+enum class Fault { kClean, kForgedCanary, kHijackCanary, kDivergedCanary };
+
+const char* fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kClean: return "clean";
+    case Fault::kForgedCanary: return "forged";
+    case Fault::kHijackCanary: return "hijack";
+    case Fault::kDivergedCanary: return "diverged";
+  }
+  return "?";
+}
+
+constexpr const char* kVictim = "unit-0";
+
+// Firmware v2 of the gateway: appends a (never-called) routine after
+// the last function, so the transition is a genuine PMEM diff while
+// every existing symbol keeps its address.
+std::string gateway_v2() {
+  std::string source = apps::vuln_gateway().source;
+  const size_t pos = source.rfind(".vector");
+  EXPECT_NE(pos, std::string::npos);
+  source.insert(pos, "v2_tag:\n    ret\n");
+  return source;
+}
+
+struct RunState {
+  std::unique_ptr<Fleet> fleet;  // Fleet is move-averse; heap-pin it
+  RolloutReport report;
+  std::shared_ptr<const core::BuildResult> v1;
+  std::shared_ptr<const core::BuildResult> target;
+};
+
+// One matrix cell: 8 gateway devices (unit-0..7), unit-6/7 pinned in
+// an A/B hold, a 3-wave plan (explicit 2-device canary containing the
+// victim, then 50% of the remainder, then the rest), the fault
+// injected at the canary, and the plan executed serially or pooled.
+RunState run_scenario(Fault fault, bool tolerant, bool pooled) {
+  const apps::AppSpec& app = apps::vuln_gateway();
+  RunState state;
+  state.fleet = std::make_unique<Fleet>();
+  Fleet& fleet = *state.fleet;
+
+  for (int i = 0; i < 8; ++i) {
+    DeviceSession& dev = fleet.provision(
+        "unit-" + std::to_string(i), app.source, app.name,
+        EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 65536}});
+    dev.machine().uart().feed(attacks::benign_payload());
+    dev.run_to_symbol("halt", app.cycle_budget);
+  }
+  state.v1 = fleet.at(kVictim).shared_build();
+
+  if (fault == Fault::kDivergedCanary) {
+    // Out-of-band (but validly MAC'd) patch: the victim's PMEM no
+    // longer matches its recorded build, so the campaign must refuse
+    // the diff-based transition before anything is applied.
+    DeviceSession& victim = fleet.at(kVictim);
+    const crypto::Digest key = fleet.update_key(kVictim);
+    casu::UpdateAuthority authority(
+        std::span<const uint8_t>(key.data(), key.size()));
+    EXPECT_EQ(victim.apply_update(authority.make_package(
+                  0xFB00, victim.firmware_version() + 1, {0x03, 0x43})),
+              casu::UpdateStatus::kApplied);
+  }
+
+  CampaignOptions campaign_options;
+  if (fault == Fault::kForgedCanary) {
+    campaign_options.tamper = [](const DeviceSession& dev,
+                                 casu::UpdatePackage& package) {
+      if (dev.id() == kVictim) package.mac[0] ^= 0xFF;
+    };
+  }
+  state.target = fleet.build(gateway_v2(), "gateway-v2", {.eilid = false});
+
+  RolloutPlan plan;
+  plan.holds = {{"ab-hold", {"unit-6", "unit-7"}}};
+  plan.waves = {{.name = "canary", .device_ids = {"unit-0", "unit-1"}},
+                {.name = "early", .fraction = 0.5},
+                {.name = "rest", .fraction = 1.0}};
+  if (tolerant) plan.budget.max_fraction = 0.5;  // 2-device canary: 1 allowed
+  plan.max_in_flight = 2;
+  plan.probe = [fault, &app](const std::vector<DeviceSession*>& wave,
+                             common::ThreadPool*) {
+    // Deterministic probe (ignores the pool on purpose): drive every
+    // wave device so the gate judges post-update evidence; on the
+    // hijack scenario the victim is fed the stack-smash exploit
+    // instead of benign traffic.
+    for (DeviceSession* dev : wave) {
+      std::lock_guard<std::mutex> lock(dev->mutex());
+      // A device that rejected a tampered package is parked with a
+      // latched violation; a few cycles let it heal by reset before
+      // the workload drives it (run_to_symbol alone would return at
+      // the parked breakpoint without stepping).
+      dev->machine().run(64);
+      if (fault == Fault::kHijackCanary && dev->id() == kVictim) {
+        dev->machine().uart().feed(
+            attacks::overflow_ret_payload(dev->symbol("unlock")));
+        dev->run_to_symbol("halt", 8 * app.cycle_budget);
+      } else {
+        apps::run_workload(*dev, app);
+      }
+    }
+  };
+
+  CampaignScheduler scheduler =
+      fleet.plan_rollout(state.target, plan, campaign_options);
+  if (pooled) {
+    common::ThreadPool pool(4);
+    state.report = scheduler.run(pool);
+  } else {
+    state.report = scheduler.run();
+  }
+  return state;
+}
+
+class RolloutMatrix
+    : public ::testing::TestWithParam<std::tuple<Fault, bool, bool>> {};
+
+TEST_P(RolloutMatrix, WavesBudgetsAndHoldsBehave) {
+  const auto [fault, tolerant, pooled] = GetParam();
+  RunState state = run_scenario(fault, tolerant, pooled);
+  Fleet& fleet = *state.fleet;
+  const RolloutReport& report = state.report;
+
+  // Membership resolution is a pure function of plan + registry.
+  ASSERT_EQ(report.waves.size(), 3u);
+  EXPECT_EQ(report.held, (std::vector<std::string>{"unit-6", "unit-7"}));
+  EXPECT_EQ(report.waves[0].device_ids,
+            (std::vector<std::string>{"unit-0", "unit-1"}));
+  EXPECT_EQ(report.waves[1].device_ids,
+            (std::vector<std::string>{"unit-2", "unit-3"}));
+  EXPECT_EQ(report.waves[2].device_ids,
+            (std::vector<std::string>{"unit-4", "unit-5"}));
+
+  // Held A/B cohorts never move, in every cell of the matrix.
+  for (const char* id : {"unit-6", "unit-7"}) {
+    EXPECT_EQ(fleet.at(id).shared_build().get(), state.v1.get()) << id;
+    EXPECT_EQ(fleet.at(id).firmware_version(), 0u) << id;
+  }
+
+  const bool faulted = fault != Fault::kClean;
+  const bool expect_halt = faulted && !tolerant;
+  EXPECT_EQ(report.halted, expect_halt) << fault_name(fault);
+  EXPECT_EQ(report.ok(), !expect_halt);
+  EXPECT_EQ(report.waves_applied, expect_halt ? 1u : 3u);
+
+  // Canary wave: victim outcome per fault, budget arithmetic.
+  const WaveOutcome& canary = report.waves[0];
+  EXPECT_TRUE(canary.applied);
+  EXPECT_EQ(canary.allowance, tolerant ? 1u : 0u);
+  EXPECT_EQ(canary.failures, faulted ? 1u : 0u) << fault_name(fault);
+  EXPECT_EQ(canary.within_budget, !expect_halt);
+  ASSERT_EQ(canary.updates.size(), 2u);
+  const UpdateOutcome& victim = canary.updates[0];  // membership order
+  ASSERT_EQ(victim.device_id, kVictim);
+  EXPECT_EQ(canary.updates[1].result, UpdateResult::kApplied);
+  switch (fault) {
+    case Fault::kClean:
+    case Fault::kHijackCanary:
+      EXPECT_EQ(victim.result, UpdateResult::kApplied);
+      EXPECT_TRUE(victim.build_swapped);
+      break;
+    case Fault::kForgedCanary: {
+      EXPECT_EQ(victim.result, UpdateResult::kBadMac);
+      EXPECT_FALSE(victim.build_swapped);
+      // The device latched the violation and healed by reset (the
+      // probe ran it); it never ran tampered code.
+      EXPECT_EQ(fleet.at(kVictim).last_reset_reason(), "update-auth");
+      EXPECT_EQ(fleet.at(kVictim).shared_build().get(), state.v1.get());
+      break;
+    }
+    case Fault::kDivergedCanary:
+      EXPECT_EQ(victim.result, UpdateResult::kImageMismatch);
+      EXPECT_FALSE(victim.build_swapped);
+      EXPECT_EQ(fleet.at(kVictim).shared_build().get(), state.v1.get());
+      break;
+  }
+  if (fault == Fault::kHijackCanary) {
+    // The wave gate convicts the hijack: the exploit edge into
+    // `unlock` is outside the CFG the verifier replays against.
+    ASSERT_FALSE(canary.gate.empty());
+    const VerifierService::AttestResult& verdict = canary.gate[0];
+    ASSERT_EQ(verdict.device_id, kVictim);  // enrollment-id order
+    EXPECT_TRUE(verdict.attested);
+    EXPECT_TRUE(verdict.mac_ok);
+    EXPECT_FALSE(verdict.path_ok);
+    ASSERT_TRUE(verdict.first_bad.has_value());
+    EXPECT_EQ(verdict.first_bad->to, fleet.at(kVictim).symbol("unlock"));
+  }
+
+  if (expect_halt) {
+    EXPECT_NE(report.halt_reason.find("canary"), std::string::npos)
+        << report.halt_reason;
+    for (size_t w = 1; w < report.waves.size(); ++w) {
+      EXPECT_FALSE(report.waves[w].applied);
+      EXPECT_TRUE(report.waves[w].updates.empty());
+      EXPECT_TRUE(report.waves[w].gate.empty());
+    }
+    // Never-applied waves: devices still on the old build, and they
+    // still attest clean on it (subset sweep touches only them).
+    std::vector<DeviceSession*> later = {
+        &fleet.at("unit-2"), &fleet.at("unit-3"), &fleet.at("unit-4"),
+        &fleet.at("unit-5")};
+    for (DeviceSession* dev : later) {
+      EXPECT_EQ(dev->shared_build().get(), state.v1.get()) << dev->id();
+      EXPECT_EQ(dev->firmware_version(), 0u) << dev->id();
+    }
+    for (const auto& verdict : fleet.verifier().verify_all(later)) {
+      EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+    }
+  } else {
+    EXPECT_TRUE(report.halt_reason.empty());
+    for (size_t w = 1; w < report.waves.size(); ++w) {
+      const WaveOutcome& wave = report.waves[w];
+      EXPECT_TRUE(wave.applied);
+      EXPECT_EQ(wave.failures, 0u);
+      for (const UpdateOutcome& update : wave.updates) {
+        EXPECT_EQ(update.result, UpdateResult::kApplied) << update.device_id;
+      }
+      for (const auto& verdict : wave.gate) {
+        EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+      }
+    }
+    // Every waved device (bar a burned canary) runs the target now.
+    const bool victim_stays = fault == Fault::kForgedCanary ||
+                              fault == Fault::kDivergedCanary;
+    for (int i = 0; i < 6; ++i) {
+      DeviceSession& dev = fleet.at("unit-" + std::to_string(i));
+      const core::BuildResult* expected =
+          victim_stays && dev.id() == kVictim ? state.v1.get()
+                                              : state.target.get();
+      EXPECT_EQ(dev.shared_build().get(), expected) << dev.id();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RolloutMatrix,
+    ::testing::Combine(::testing::Values(Fault::kClean, Fault::kForgedCanary,
+                                         Fault::kHijackCanary,
+                                         Fault::kDivergedCanary),
+                       ::testing::Bool(),   // tolerant budget
+                       ::testing::Bool()),  // pooled
+    [](const auto& info) {
+      return std::string(fault_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_tolerant" : "_budget0") +
+             (std::get<2>(info.param) ? "_pooled" : "_serial");
+    });
+
+// The acceptance-criteria determinism half: for every fault x budget
+// cell, the pooled run of the same plan produces a bit-identical
+// report (per-wave outcomes, gate verdicts, halt reason) to the
+// serial run on an identically constructed fleet.
+class RolloutDeterminism
+    : public ::testing::TestWithParam<std::tuple<Fault, bool>> {};
+
+TEST_P(RolloutDeterminism, PooledReportBitIdenticalToSerial) {
+  const auto [fault, tolerant] = GetParam();
+  RunState serial = run_scenario(fault, tolerant, /*pooled=*/false);
+  RunState pooled = run_scenario(fault, tolerant, /*pooled=*/true);
+  EXPECT_TRUE(serial.report == pooled.report)
+      << fault_name(fault) << (tolerant ? "/tolerant" : "/budget0");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RolloutDeterminism,
+    ::testing::Combine(::testing::Values(Fault::kClean, Fault::kForgedCanary,
+                                         Fault::kHijackCanary,
+                                         Fault::kDivergedCanary),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(fault_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_tolerant" : "_budget0");
+    });
+
+// The hijack scenario is not hypothetical: the gateway image carries
+// enough ROP material (short runs ending in ret) for code reuse, which
+// is exactly what the CFA wave gate convicts.
+TEST(RolloutScenarios, GatewayImageHasRopGadgetsForTheHijack) {
+  Fleet fleet;
+  auto build =
+      fleet.build(apps::vuln_gateway().source, "vuln_gateway", {.eilid = false});
+  auto gadgets = attacks::find_gadgets(build->app.image, 0xE000, 0xF000);
+  EXPECT_FALSE(gadgets.empty());
+}
+
+// apps::wave_workload is the stock probe: it drives every wave device
+// between apply and gate (pooled via run_workload_all, serially under
+// each session's lock), and it copies the spec -- a temporary AppSpec
+// must be safe to pass.
+TEST(RolloutScenarios, WaveWorkloadProbeDrivesWavesBetweenGates) {
+  const apps::AppSpec& app = apps::app_by_name("light_sensor");
+  Fleet fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.provision("lw-" + std::to_string(i), app.source, app.name,
+                    EnforcementPolicy::kCfaBaseline,
+                    {.cfa = {.log_capacity = 65536}});
+  }
+  auto v2 = [&] {
+    std::string source = app.source;
+    source.insert(source.rfind(".vector"), "v2_tag:\n    ret\n");
+    return fleet.build(source, "light_sensor-v2", {.eilid = false});
+  }();
+
+  RolloutPlan plan;
+  plan.waves = {{.name = "canary", .fraction = 0.5},
+                {.name = "rest", .fraction = 1.0}};
+  plan.probe = apps::wave_workload(apps::AppSpec(app));  // temporary copy
+
+  common::ThreadPool pool(4);
+  RolloutReport report = fleet.plan_rollout(v2, plan).run(pool);
+  EXPECT_FALSE(report.halted) << report.halt_reason;
+  ASSERT_EQ(report.waves.size(), 2u);
+  for (const WaveOutcome& wave : report.waves) {
+    EXPECT_TRUE(wave.applied);
+    ASSERT_EQ(wave.device_ids.size(), 2u);
+    for (const UpdateOutcome& update : wave.updates) {
+      EXPECT_EQ(update.result, UpdateResult::kApplied) << update.device_id;
+    }
+    for (const auto& verdict : wave.gate) {
+      EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+      // The probe genuinely drove the device post-update: its gate
+      // evidence carries the workload's control transfers.
+      EXPECT_GT(verdict.edges, 0u) << verdict.device_id;
+    }
+  }
+}
+
+// Malformed plans are rejected up front, before any device is touched.
+TEST(RolloutScenarios, MalformedPlansThrowTyped) {
+  Fleet fleet;
+  const apps::AppSpec& app = apps::vuln_gateway();
+  fleet.provision("solo", app.source, app.name,
+                  EnforcementPolicy::kCfaBaseline);
+  auto target = fleet.build(gateway_v2(), "gateway-v2", {.eilid = false});
+
+  EXPECT_THROW(fleet.plan_rollout(target, RolloutPlan{}), FleetError);
+
+  RolloutPlan both;
+  both.waves = {{.name = "bad", .device_ids = {"solo"}, .fraction = 0.5}};
+  EXPECT_THROW(fleet.plan_rollout(target, both).run(), FleetError);
+
+  RolloutPlan unknown;
+  unknown.waves = {{.device_ids = {"ghost"}}};
+  EXPECT_THROW(fleet.plan_rollout(target, unknown).run(), FleetError);
+
+  RolloutPlan negative;
+  negative.waves = {{.name = "neg", .fraction = -0.5}};
+  EXPECT_THROW(fleet.plan_rollout(target, negative).run(), FleetError);
+
+  RolloutPlan twice;
+  twice.waves = {{.device_ids = {"solo"}}, {.device_ids = {"solo"}}};
+  EXPECT_THROW(fleet.plan_rollout(target, twice).run(), FleetError);
+
+  RolloutPlan ghost_hold;
+  ghost_hold.waves = {{.fraction = 1.0}};
+  ghost_hold.holds = {{"ab", {"ghost"}}};
+  EXPECT_THROW(fleet.plan_rollout(target, ghost_hold).run(), FleetError);
+}
+
+}  // namespace
+}  // namespace eilid
