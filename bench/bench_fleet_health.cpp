@@ -1,0 +1,301 @@
+// Fleet-health throughput: heartbeat attestation sweeps and automated
+// self-healing at fleet scale, driven entirely on the deterministic
+// FleetClock. Per thread count in {1, 2, 4, 8} (1 = the serial paths):
+//
+//   1. cadence sweep -- a healthy fleet swept by HeartbeatScheduler at
+//      periods {25, 50, 100} over a 1000-tick horizon; verdicts/sec
+//      reported, every verdict must be ok() and the beat count must
+//      match horizon/period exactly,
+//   2. self-healing pass -- 1/8 of the fleet forced offline (goes
+//      stale) and another 1/8 diverged by a rogue validly-MAC'd patch
+//      (convicts at the first beat); the HealthMonitor must quarantine
+//      exactly those devices, heal the convicted ones immediately
+//      (reflash -> re-update onto the golden build -> clean verdict),
+//      refuse to touch the unreachable ones until they come back, then
+//      heal them too, ending with an empty quarantine and a fleet that
+//      attests clean.
+//
+// Correctness gates (the bench FAILS on any violation): the membership
+// checks above, plus determinism -- every thread count's sequence of
+// HealthReports (and cadence HeartbeatReports) must be bit-identical
+// to the serial row's.
+//
+// Usage: bench_fleet_health [--smoke]   (--smoke: CI-sized fleet)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/eilid/fleet.h"
+#include "src/eilid/health.h"
+
+using namespace eilid;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point start) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - start)
+      .count();
+}
+
+std::string firmware(int generation) {
+  std::string s = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+)";
+  for (int i = 0; i < generation + 1; ++i) s += "    call #emit\n";
+  s += R"(halt:
+    jmp halt
+emit:
+    mov.b #')";
+  s += static_cast<char>('0' + generation);
+  s += R"(', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+  return s;
+}
+
+std::string device_id(size_t i) {
+  char buf[32];  // worst-case %zu needs more than 16 (-Wformat-truncation)
+  std::snprintf(buf, sizeof(buf), "dev-%03zu", i);
+  return buf;
+}
+
+bool forced_offline(size_t i) { return i % 8 == 3; }   // goes stale
+bool forced_diverged(size_t i) { return i % 8 == 6; }  // convicts
+
+constexpr Tick kCadences[] = {25, 50, 100};
+constexpr Tick kHorizon = 1000;
+
+struct RowResult {
+  size_t threads = 0;
+  double cadence_ms = 0;  // all three cadences, summed
+  double heal_ms = 0;     // the four-pass self-healing scenario
+  size_t verdicts = 0;    // cadence-sweep verdicts (for verdicts/sec)
+  bool gates_ok = true;
+  std::vector<HeartbeatReport> cadence_reports;  // compared across rows
+  std::vector<HealthReport> heal_reports;        // ditto
+};
+
+void fail(RowResult& row, const char* what) {
+  std::printf("  !! threads=%zu: %s\n", row.threads, what);
+  row.gates_ok = false;
+}
+
+RowResult run_row(size_t threads, size_t devices) {
+  RowResult row;
+  row.threads = threads;
+  const bool serial = threads == 1;
+  common::ThreadPool pool(threads);
+
+  Fleet fleet;
+  for (size_t i = 0; i < devices; ++i) {
+    DeviceSession& dev =
+        fleet.provision(device_id(i), firmware(0), "fw",
+                        EnforcementPolicy::kCfaBaseline,
+                        {.cfa = {.log_capacity = 65536}});
+    dev.run_to_symbol("halt", 100000);
+  }
+  auto gen0 = fleet.at(device_id(0)).shared_build();
+  auto golden = fleet.build(firmware(1), "fw", {.eilid = false});
+
+  // --- 1. cadence sweep over the healthy fleet -----------------------
+  {
+    auto t0 = clock_type::now();
+    for (Tick period : kCadences) {
+      HeartbeatScheduler scheduler(fleet, {.period = period});
+      const Tick deadline = fleet.clock().now() + kHorizon;
+      HeartbeatReport report =
+          serial ? scheduler.run_until(deadline)
+                 : scheduler.run_until(deadline, pool);
+      if (report.beats.size() != kHorizon / period) {
+        fail(row, "cadence beat count mismatch");
+      }
+      for (const HeartbeatBeat& beat : report.beats) {
+        if (beat.verdicts.size() != devices || !beat.missed.empty()) {
+          fail(row, "cadence sweep missed devices");
+        }
+        for (const auto& verdict : beat.verdicts) {
+          if (!verdict.ok()) fail(row, "cadence verdict not ok");
+        }
+        row.verdicts += beat.verdicts.size();
+      }
+      row.cadence_reports.push_back(std::move(report));
+    }
+    row.cadence_ms = ms_since(t0);
+  }
+
+  // --- 2. self-healing: forced-stale + forced-conviction -------------
+  std::set<std::string> offline_ids;
+  std::set<std::string> diverged_ids;
+  for (size_t i = 0; i < devices; ++i) {
+    if (forced_offline(i)) {
+      fleet.at(device_id(i)).set_online(false);
+      offline_ids.insert(device_id(i));
+    } else if (forced_diverged(i)) {
+      DeviceSession& dev = fleet.at(device_id(i));
+      const crypto::Digest key = fleet.update_key(device_id(i));
+      casu::UpdateAuthority authority(
+          std::span<const uint8_t>(key.data(), key.size()));
+      if (dev.apply_update(authority.make_package(
+              0xE800, dev.firmware_version() + 1, {0x03, 0x43})) !=
+          casu::UpdateStatus::kApplied) {
+        fail(row, "rogue package refused");
+      }
+      diverged_ids.insert(device_id(i));
+    }
+  }
+
+  HealthMonitor health(fleet, {.heartbeat = {.period = 100, .jitter = 9,
+                                             .jitter_seed = 42},
+                               .policy = {.staleness_threshold = 250}});
+  health.stage_remediation(fleet.stage_update(golden));
+  const Tick t_start = fleet.clock().now();
+  auto run_pass = [&](Tick deadline) {
+    HealthReport report = serial ? health.run_until(deadline)
+                                 : health.run_until(deadline, pool);
+    row.heal_reports.push_back(report);
+    return report;
+  };
+  auto quarantined_ids = [](const std::vector<QuarantineEntry>& entries) {
+    std::set<std::string> ids;
+    for (const auto& entry : entries) ids.insert(entry.device_id);
+    return ids;
+  };
+
+  auto t0 = clock_type::now();
+  // Pass 1: first beat. Diverged devices convict, quarantine, and heal
+  // in one pass; offline devices miss but are not yet stale.
+  HealthReport pass = run_pass(t_start + 150);
+  if (quarantined_ids(pass.newly_quarantined) != diverged_ids) {
+    fail(row, "pass 1: conviction quarantine membership wrong");
+  }
+  for (const auto& entry : pass.newly_quarantined) {
+    if (entry.reason != QuarantineReason::kConvicted) {
+      fail(row, "pass 1: conviction reason wrong");
+    }
+  }
+  if (pass.remediations.size() != diverged_ids.size()) {
+    fail(row, "pass 1: remediation count wrong");
+  }
+  for (const auto& heal : pass.remediations) {
+    if (!heal.healed || heal.update.result != UpdateResult::kApplied ||
+        !heal.verdict.ok()) {
+      fail(row, "pass 1: convicted device did not heal");
+    }
+  }
+  if (pass.quarantined_after != 0) fail(row, "pass 1: quarantine not empty");
+
+  // Pass 2: the offline eighth ages past the staleness threshold. They
+  // are quarantined but unreachable -- remediation must not pretend.
+  pass = run_pass(t_start + 400);
+  if (quarantined_ids(pass.newly_quarantined) != offline_ids) {
+    fail(row, "pass 2: staleness quarantine membership wrong");
+  }
+  for (const auto& entry : pass.newly_quarantined) {
+    if (entry.reason != QuarantineReason::kStale) {
+      fail(row, "pass 2: staleness reason wrong");
+    }
+  }
+  for (const auto& heal : pass.remediations) {
+    if (heal.reachable || heal.healed) {
+      fail(row, "pass 2: unreachable device 'remediated'");
+    }
+  }
+  if (pass.quarantined_after != offline_ids.size()) {
+    fail(row, "pass 2: stale devices not held in quarantine");
+  }
+
+  // Pass 3: the stale devices come back online and heal -- reflash,
+  // re-update onto the golden build, clean verdict, released.
+  for (const std::string& id : offline_ids) fleet.at(id).set_online(true);
+  pass = run_pass(t_start + 500);
+  if (pass.remediations.size() != offline_ids.size()) {
+    fail(row, "pass 3: remediation count wrong");
+  }
+  for (const auto& heal : pass.remediations) {
+    if (!heal.healed || heal.update.result != UpdateResult::kApplied ||
+        !heal.verdict.ok()) {
+      fail(row, "pass 3: stale device did not heal");
+    }
+  }
+  if (pass.quarantined_after != 0) fail(row, "pass 3: quarantine not empty");
+
+  // Pass 4: steady state -- nothing new quarantines, every beat clean.
+  pass = run_pass(t_start + 700);
+  if (!pass.newly_quarantined.empty() || pass.quarantined_after != 0) {
+    fail(row, "pass 4: steady state not clean");
+  }
+  for (const auto& beat : pass.heartbeats.beats) {
+    for (const auto& verdict : beat.verdicts) {
+      if (!verdict.ok()) fail(row, "pass 4: verdict not ok");
+    }
+  }
+  row.heal_ms = ms_since(t0);
+
+  // Healed devices genuinely run the golden build; untouched devices
+  // were never moved off generation 0.
+  for (size_t i = 0; i < devices; ++i) {
+    DeviceSession& dev = fleet.at(device_id(i));
+    const bool healed = forced_offline(i) || forced_diverged(i);
+    if (dev.shared_build().get() != (healed ? golden.get() : gen0.get())) {
+      fail(row, "final build placement wrong");
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const size_t devices = smoke ? 64 : 256;
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+  std::vector<RowResult> rows;
+  for (size_t threads : kThreadCounts) {
+    rows.push_back(run_row(threads, devices));
+  }
+  const RowResult& base = rows[0];
+
+  std::printf("Fleet health (%s): %zu devices, cadences {25,50,100} over "
+              "%llu ticks, 1/8 forced stale + 1/8 forced conviction\n",
+              smoke ? "smoke" : "full", devices,
+              static_cast<unsigned long long>(kHorizon));
+  std::printf("%7s | %12s | %14s | %12s | %8s\n", "threads", "cadence ms",
+              "self-heal ms", "verdicts/sec", "speedup");
+  bool ok = true;
+  for (const RowResult& row : rows) {
+    std::printf("%7zu | %12.2f | %14.2f | %12.0f | %7.2fx\n", row.threads,
+                row.cadence_ms, row.heal_ms,
+                row.cadence_ms > 0
+                    ? 1000.0 * static_cast<double>(row.verdicts) /
+                          row.cadence_ms
+                    : 0.0,
+                row.cadence_ms > 0 ? base.cadence_ms / row.cadence_ms : 0.0);
+    if (!row.gates_ok) {
+      std::printf("  !! threads=%zu: correctness gate failed\n", row.threads);
+      ok = false;
+    }
+    if (!(row.cadence_reports == base.cadence_reports) ||
+        !(row.heal_reports == base.heal_reports)) {
+      std::printf("  !! threads=%zu: reports diverge from the serial row\n",
+                  row.threads);
+      ok = false;
+    }
+  }
+  std::printf("reports: %zu heartbeat + %zu health per row, bit-identical "
+              "across all thread counts\n",
+              base.cadence_reports.size(), base.heal_reports.size());
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

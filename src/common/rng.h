@@ -1,17 +1,33 @@
-// Deterministic PRNG (splitmix64) for property tests, workload stimulus
-// and attack fuzzing. Not cryptographic -- crypto lives in src/crypto.
-// Determinism matters: every test and benchmark must be reproducible
-// from a printed seed.
+// Deterministic PRNG (splitmix64) for property tests, workload stimulus,
+// heartbeat jitter and attack fuzzing. Not cryptographic -- crypto lives
+// in src/crypto. Determinism matters: every test, benchmark, and
+// scheduler decision must be reproducible from a printed seed, and
+// per-key streams (keyed()) must be stable across platforms -- no
+// std::hash, whose value is implementation-defined.
 #ifndef EILID_COMMON_RNG_H
 #define EILID_COMMON_RNG_H
 
 #include <cstdint>
+#include <string_view>
 
-namespace eilid {
+namespace eilid::common {
 
-class Rng {
+class SeededRng {
  public:
-  explicit Rng(uint64_t seed) : state_(seed) {}
+  explicit SeededRng(uint64_t seed) : state_(seed) {}
+
+  // A stream derived from (seed, key): the one deterministic source for
+  // per-device decisions (heartbeat jitter phases) -- every holder of
+  // the same seed computes the same stream for the same key, on any
+  // platform (FNV-1a over the key bytes, not std::hash).
+  static SeededRng keyed(uint64_t seed, std::string_view key) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return SeededRng(seed ^ h);
+  }
 
   // Next 64 random bits (splitmix64).
   uint64_t next() {
@@ -39,6 +55,12 @@ class Rng {
   uint64_t state_;
 };
 
+}  // namespace eilid::common
+
+namespace eilid {
+// Historical name, kept so call sites read naturally inside
+// namespace eilid; new code may use either spelling.
+using Rng = common::SeededRng;
 }  // namespace eilid
 
 #endif  // EILID_COMMON_RNG_H

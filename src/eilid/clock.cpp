@@ -1,0 +1,19 @@
+#include "eilid/clock.h"
+
+namespace eilid {
+
+Tick FleetClock::advance(Tick delta) {
+  return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+}
+
+Tick FleetClock::advance_to(Tick deadline) {
+  Tick current = now_.load(std::memory_order_acquire);
+  while (current < deadline &&
+         !now_.compare_exchange_weak(current, deadline,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+  }
+  return now_.load(std::memory_order_acquire);
+}
+
+}  // namespace eilid

@@ -72,8 +72,12 @@ bool VerifierService::enrolled(const std::string& device_id) const {
 }
 
 void VerifierService::withdraw(const std::string& device_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  devices_.erase(device_id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    devices_.erase(device_id);
+  }
+  std::lock_guard<std::mutex> lock(fresh_mu_);
+  freshness_.erase(device_id);
 }
 
 bool VerifierService::stage_cfg_swap(DeviceSession& session) {
@@ -143,6 +147,7 @@ VerifierService::AttestResult VerifierService::attest_device(
   AttestResult out;
   out.device_id = session.id();
   out.attested = true;
+  out.tick = clock_ != nullptr ? clock_->now() : 0;
 
   const uint64_t nonce =
       nonce_counter_.fetch_add(1, std::memory_order_relaxed);
@@ -159,7 +164,33 @@ VerifierService::AttestResult VerifierService::attest_device(
   out.mac_ok = v.mac_ok;
   out.path_ok = v.path_ok;
   out.first_bad = v.first_bad;
+
+  // Freshness bookkeeping: every sweep flavor funnels through here, so
+  // last-seen/last-ok ticks cover full sweeps, subset gates and direct
+  // attest() calls alike. Guarded by its own lock (not the session's):
+  // health monitors read freshness while other devices are mid-sweep.
+  {
+    std::lock_guard<std::mutex> lock(fresh_mu_);
+    Freshness& fresh = freshness_[out.device_id];
+    fresh.last_attested_tick = out.tick;
+    fresh.ever_attested = true;
+    ++fresh.reports;
+    if (out.ok()) {
+      fresh.last_ok_tick = out.tick;
+      fresh.ever_ok = true;
+      fresh.convicted = false;
+    } else {
+      fresh.convicted = true;
+    }
+  }
   return out;
+}
+
+VerifierService::Freshness VerifierService::freshness(
+    const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(fresh_mu_);
+  auto it = freshness_.find(device_id);
+  return it == freshness_.end() ? Freshness{} : it->second;
 }
 
 // Snapshot of every enrolled device's state, in enrollment-id (map)
@@ -305,7 +336,11 @@ crypto::Digest build_key(const std::string& source, const std::string& name,
 
 }  // namespace
 
-Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {}
+Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {
+  // The fleet's verifier stamps verdicts with fleet time; both live
+  // exactly as long as the Fleet.
+  verifier_.attach_clock(&clock_);
+}
 
 std::shared_ptr<const core::BuildResult> Fleet::build(
     const std::string& source, const std::string& name,

@@ -34,7 +34,23 @@
 //     then passes an attestation *gate* -- a verifier subset sweep
 //     over just that wave -- and the plan promotes to the next wave
 //     only while failures stay within budget. Attestation verdicts
-//     drive fleet control flow here, not just reporting.
+//     drive fleet control flow here, not just reporting. Plans may
+//     soak each wave (advance the fleet clock and re-sweep before
+//     promoting) and, with rollback_on_halt, automatically stage
+//     reverse campaigns that walk every touched device back to its
+//     prior build when the budget trips,
+//   - fleet time and health (clock()/src/eilid/clock.h,
+//     src/eilid/health.h): every Fleet owns one deterministic
+//     FleetClock -- simulated ticks, advanced only by schedulers,
+//     never wall time -- and every attestation verdict is stamped
+//     with it. A HeartbeatScheduler sweeps the fleet on a fixed
+//     cadence (deterministic per-device phase jitter) maintaining
+//     per-device freshness records; a HealthMonitor quarantines
+//     devices whose last good attestation goes stale or that a sweep
+//     convicts, and remediates them automatically -- reflash from the
+//     recorded build, re-update onto a staged golden campaign, and
+//     release only on a clean verdict. Convictions drive remediation,
+//     not just reports.
 //
 //   eilid::Fleet fleet;
 //   auto& dev = fleet.provision("door-7", source, "gateway",
@@ -72,11 +88,22 @@
 //       The CFG epoch is staged while the device's lock is still held,
 //       so a sweep can never drain an update marker the verifier has
 //       not been told about.
-//     - CampaignScheduler::run(pool): wave applies, probes and gate
-//       sweeps all ride the per-device locks above; the pooled run's
-//       report is bit-identical to the serial run()'s. The scheduler
-//       object itself is not shared across threads -- one run at a
-//       time per scheduler.
+//     - CampaignScheduler::run(pool): wave applies, probes, gate
+//       sweeps, soak re-sweeps and halt rollbacks all ride the
+//       per-device locks above; the pooled run's report is
+//       bit-identical to the serial run()'s. The scheduler object
+//       itself is not shared across threads -- one run at a time per
+//       scheduler.
+//     - HeartbeatScheduler::run_until()/HealthMonitor::run_until():
+//       heartbeat sweeps are verify_all subset sweeps (per-device
+//       locks), so they interleave safely with a concurrent rollout;
+//       remediation holds the device's session lock across its
+//       reflash and funnels its re-update through
+//       UpdateCampaign::apply_to(), the same lock an in-flight
+//       campaign takes -- so healing a device can never race a
+//       campaign mid-update on that device. FleetClock is atomic and
+//       monotonic (advance_to never moves time backwards). Like the
+//       campaign scheduler, one run at a time per monitor object.
 //
 //   Requires external synchronization:
 //     - A DeviceSession itself is single-threaded: do not call run()/
@@ -109,6 +136,7 @@
 
 #include "common/thread_pool.h"
 #include "crypto/hmac.h"
+#include "eilid/clock.h"
 #include "eilid/session.h"
 #include "eilid/update.h"
 
@@ -130,6 +158,11 @@ class VerifierService {
                             // are meaningless and left false)
     uint32_t seq = 0;
     uint64_t cycle = 0;     // device cycle at report emission
+    Tick tick = 0;          // fleet time at verification (0 when the
+                            // service has no clock attached) -- the
+                            // freshness primitive: health monitoring
+                            // judges *when* evidence last verified, not
+                            // just whether it did
     bool mac_ok = false;
     bool seq_ok = false;   // report sequence number was the expected one
     bool path_ok = false;  // replayed log stayed inside the CFG
@@ -194,6 +227,30 @@ class VerifierService {
   // sweep or attest() of the same device.
   void withdraw(const std::string& device_id);
 
+  // Stamp every subsequent verdict with `clock`'s tick at verification
+  // (AttestResult::tick; 0 when never attached). Fleet attaches its own
+  // clock at construction; call at most once, before any attestation --
+  // the pointer must outlive the service.
+  void attach_clock(const FleetClock* clock) { clock_ = clock; }
+
+  // Freshness bookkeeping, updated on every sweep that touches the
+  // device (attest/verify_all/subset gates alike): when evidence last
+  // arrived and when it last verified clean. The eilid::HealthMonitor
+  // layers staleness thresholds and quarantine on top of these.
+  struct Freshness {
+    Tick last_attested_tick = 0;  // evidence last collected (any verdict)
+    Tick last_ok_tick = 0;        // verdict last came back ok()
+    uint32_t reports = 0;         // attestations performed
+    bool ever_attested = false;
+    bool ever_ok = false;
+    bool convicted = false;  // most recent verdict was a conviction
+
+    bool operator==(const Freshness&) const = default;
+  };
+  // Freshness for one device id (value-initialized when the device has
+  // never been swept). Safe against concurrent sweeps.
+  Freshness freshness(const std::string& device_id) const;
+
   // Sanction the code change `session` just logged: stage a replay-CFG
   // swap to the CFG of the session's *current* build (shared via the
   // per-build cache), taking effect when the device's evidence stream
@@ -243,6 +300,12 @@ class VerifierService {
                      std::shared_ptr<const cfa::Cfg>>>
       cfg_cache_;
   std::atomic<uint64_t> nonce_counter_{1};
+
+  const FleetClock* clock_ = nullptr;  // set once, before attestation
+  // Guarded by fresh_mu_, not the per-device session lock: freshness is
+  // read by health monitors while sweeps are in flight elsewhere.
+  mutable std::mutex fresh_mu_;
+  std::map<std::string, Freshness> freshness_;
 };
 
 struct FleetOptions {
@@ -330,6 +393,15 @@ class Fleet {
 
   VerifierService& verifier() { return verifier_; }
 
+  // The fleet's simulated clock (see eilid/clock.h). Every time-driven
+  // subsystem -- heartbeat cadences, staleness thresholds, rollout soak
+  // windows -- reads this one clock, and attestation verdicts are
+  // stamped with its tick (AttestResult::tick). The fleet never
+  // advances it on its own: the driver (test, bench, HealthMonitor
+  // loop) owns time, which is why nothing here can flake.
+  FleetClock& clock() { return clock_; }
+  const FleetClock& clock() const { return clock_; }
+
   // The key a given device MACs its attestation reports with.
   crypto::Digest device_key(const std::string& device_id) const;
   // The device-unique key a given device's secure updates are
@@ -364,6 +436,8 @@ class Fleet {
   mutable std::mutex order_mu_;
   std::vector<DeviceSession*> order_;  // deployment order
 
+  FleetClock clock_;  // declared before verifier_: the verifier holds a
+                      // pointer to it for its whole life
   VerifierService verifier_;
 };
 

@@ -1,0 +1,336 @@
+#include "eilid/health.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace eilid {
+
+// --- HeartbeatScheduler ---------------------------------------------
+
+HeartbeatScheduler::HeartbeatScheduler(Fleet& fleet, HeartbeatOptions options)
+    : fleet_(&fleet), options_(options) {
+  if (options_.period == 0) options_.period = 1;
+}
+
+Tick HeartbeatScheduler::phase_for(const std::string& device_id) const {
+  if (options_.jitter == 0) return 0;
+  // Keyed stream: the phase is a pure function of (seed, id), identical
+  // on every platform and every run -- jitter spreads the fleet across
+  // ticks without making any schedule non-reproducible.
+  auto rng = common::SeededRng::keyed(options_.jitter_seed, device_id);
+  return static_cast<Tick>(rng.below(options_.jitter + 1));
+}
+
+HeartbeatReport HeartbeatScheduler::run_until(Tick deadline) {
+  return run(deadline, nullptr);
+}
+
+HeartbeatReport HeartbeatScheduler::run_until(Tick deadline,
+                                              common::ThreadPool& pool) {
+  return run(deadline, &pool);
+}
+
+HeartbeatReport HeartbeatScheduler::run(Tick deadline,
+                                        common::ThreadPool* pool) {
+  FleetClock& clock = fleet_->clock();
+  HeartbeatReport report;
+  report.from = clock.now();
+
+  // Adopt/prune against one registry snapshot: devices deployed since
+  // the last run join with enrollment == now, decommissioned ids drop
+  // out (their session pointers are gone). Only CFA-capable devices
+  // emit announcements, so only they are watched.
+  const std::vector<DeviceSession*> snapshot = fleet_->sessions();
+  std::map<std::string, DeviceSession*> by_id;
+  for (DeviceSession* session : snapshot) {
+    if (session->cfa_monitor() == nullptr) continue;
+    by_id.emplace(session->id(), session);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (by_id.count(it->first) == 0) {
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const Tick now = clock.now();
+    for (const auto& [id, session] : by_id) {
+      if (records_.count(id) != 0) continue;
+      FreshnessRecord record;
+      record.device_id = id;
+      record.enrolled_tick = now;
+      record.next_due = now + options_.period + phase_for(id);
+      records_.emplace(id, std::move(record));
+    }
+  }
+
+  // Fire beats in (tick, device-id) order: repeatedly find the earliest
+  // due tick <= deadline, advance the clock to it, and sweep every
+  // device due on exactly that tick. Map iteration gives id order for
+  // free within a beat.
+  for (;;) {
+    Tick due = 0;
+    std::vector<std::string> due_ids;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bool found = false;
+      for (const auto& [id, record] : records_) {
+        if (record.next_due > deadline) continue;
+        if (!found || record.next_due < due) {
+          found = true;
+          due = record.next_due;
+          due_ids.clear();
+        }
+        if (found && record.next_due == due) due_ids.push_back(id);
+      }
+      if (!found) break;
+    }
+
+    clock.advance_to(due);
+    HeartbeatBeat beat;
+    beat.tick = due;
+
+    std::vector<DeviceSession*> online;
+    for (const std::string& id : due_ids) {
+      DeviceSession* session = by_id.at(id);
+      if (session->online()) {
+        online.push_back(session);
+      } else {
+        beat.missed.push_back(id);
+      }
+    }
+    if (!online.empty()) {
+      beat.verdicts = pool == nullptr
+                          ? fleet_->verifier().verify_all(online)
+                          : fleet_->verifier().verify_all(online, *pool);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const std::string& id : beat.missed) {
+        FreshnessRecord& record = records_.at(id);
+        ++record.misses;
+        record.next_due += options_.period;
+      }
+      for (const VerifierService::AttestResult& verdict : beat.verdicts) {
+        FreshnessRecord& record = records_.at(verdict.device_id);
+        ++record.heartbeats;
+        record.last_attested_tick = due;
+        record.ever_attested = true;
+        if (verdict.ok()) {
+          record.last_ok_tick = due;
+          record.ever_ok = true;
+          record.convicted = false;
+        } else {
+          record.convicted = true;
+        }
+        record.next_due += options_.period;
+      }
+    }
+    report.beats.push_back(std::move(beat));
+  }
+
+  clock.advance_to(deadline);
+  report.until = clock.now();
+  return report;
+}
+
+std::vector<FreshnessRecord> HeartbeatScheduler::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FreshnessRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(record);
+  return out;
+}
+
+FreshnessRecord HeartbeatScheduler::record(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(device_id);
+  return it == records_.end() ? FreshnessRecord{} : it->second;
+}
+
+void HeartbeatScheduler::note_remediated(const std::string& device_id,
+                                         Tick tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(device_id);
+  if (it == records_.end()) return;
+  FreshnessRecord& record = it->second;
+  record.last_attested_tick = tick;
+  record.last_ok_tick = tick;
+  record.ever_attested = true;
+  record.ever_ok = true;
+  record.convicted = false;
+}
+
+// --- quarantine decision --------------------------------------------
+
+std::string_view quarantine_reason_name(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNone: return "none";
+    case QuarantineReason::kStale: return "stale";
+    case QuarantineReason::kConvicted: return "convicted";
+  }
+  return "?";
+}
+
+QuarantineReason assess(const FreshnessRecord& record, Tick now,
+                        const HealthPolicy& policy) {
+  if (policy.quarantine_convicted && record.convicted) {
+    return QuarantineReason::kConvicted;
+  }
+  // Staleness is measured from the last *clean* verdict -- evidence
+  // that keeps arriving but never verifies is exactly as stale as
+  // silence. A device that has never verified clean ages from its
+  // enrollment instead.
+  const Tick anchor =
+      record.ever_ok ? record.last_ok_tick : record.enrolled_tick;
+  const Tick age = now >= anchor ? now - anchor : 0;
+  if (age > policy.staleness_threshold) return QuarantineReason::kStale;
+  return QuarantineReason::kNone;
+}
+
+// --- HealthMonitor --------------------------------------------------
+
+HealthMonitor::HealthMonitor(Fleet& fleet, HealthOptions options)
+    : fleet_(&fleet), options_(options), scheduler_(fleet, options.heartbeat) {}
+
+void HealthMonitor::stage_remediation(UpdateCampaign campaign) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remediation_.emplace(std::move(campaign));
+}
+
+std::vector<QuarantineEntry> HealthMonitor::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QuarantineEntry> out;
+  out.reserve(quarantine_.size());
+  for (const auto& [id, entry] : quarantine_) out.push_back(entry);
+  return out;
+}
+
+HealthReport HealthMonitor::run_until(Tick deadline) {
+  return run(deadline, nullptr);
+}
+
+HealthReport HealthMonitor::run_until(Tick deadline,
+                                      common::ThreadPool& pool) {
+  return run(deadline, &pool);
+}
+
+RemediationOutcome HealthMonitor::remediate_one(const QuarantineEntry& entry,
+                                                Tick now) {
+  RemediationOutcome out;
+  out.device_id = entry.device_id;
+  out.reason = entry.reason;
+  out.tick = now;
+  DeviceSession* session = fleet_->find(entry.device_id);
+  if (session == nullptr || !session->online()) {
+    // Unreachable: a decommissioned or offline device cannot be reset
+    // or re-updated. It stays quarantined for the next pass.
+    return out;
+  }
+  out.reachable = true;
+  // Reset half: factory-restore the recorded image under the device's
+  // lock (a concurrent sweep of this device must not observe a
+  // half-reflashed machine), so even a diverged device is updatable.
+  {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    session->reflash();
+  }
+  // Re-update half: the ordinary campaign lifecycle (fresh epoch
+  // marker, replay-CFG swap, per-device lock inside). kAlreadyCurrent
+  // is a success -- a stale-but-current device just needed the reset.
+  out.update = remediation_->apply_to(*session);
+  // Prove the heal: an immediate attestation. The reset marker logged
+  // by reflash() clears the verifier's replay stacks, so pre-reset
+  // evidence (including what convicted the device) cannot taint this
+  // verdict.
+  out.verdict = fleet_->verifier().attest(*session);
+  out.healed = out.update.ok() && out.verdict.ok();
+  return out;
+}
+
+HealthReport HealthMonitor::run(Tick deadline, common::ThreadPool* pool) {
+  HealthReport report;
+  report.heartbeats = pool == nullptr ? scheduler_.run_until(deadline)
+                                      : scheduler_.run_until(deadline, *pool);
+  const Tick now = fleet_->clock().now();
+
+  // Assess every watched device against the policy; latch new
+  // quarantines. Records come back sorted by id, so the report is too.
+  const std::vector<FreshnessRecord> records = scheduler_.records();
+  std::vector<QuarantineEntry> to_remediate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Drop quarantine entries for devices the scheduler no longer
+    // watches (decommissioned): there is nothing left to remediate.
+    std::set<std::string> watched;
+    for (const FreshnessRecord& record : records) {
+      watched.insert(record.device_id);
+    }
+    for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+      if (watched.count(it->first) == 0) {
+        it = quarantine_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const FreshnessRecord& record : records) {
+      const QuarantineReason reason = assess(record, now, options_.policy);
+      if (reason == QuarantineReason::kNone) continue;
+      if (quarantine_.count(record.device_id) != 0) continue;
+      QuarantineEntry entry;
+      entry.device_id = record.device_id;
+      entry.reason = reason;
+      entry.since = now;
+      quarantine_.emplace(record.device_id, entry);
+      report.newly_quarantined.push_back(std::move(entry));
+    }
+    if (remediation_.has_value()) {
+      to_remediate.reserve(quarantine_.size());
+      for (const auto& [id, entry] : quarantine_) {
+        to_remediate.push_back(entry);
+      }
+    }
+  }
+
+  // Remediate (campaign staged only): one attempt per quarantined
+  // device, outcomes indexed by sorted id so the pooled pass is
+  // bit-identical to the serial one (each device's outcome depends on
+  // its own state alone; the clock does not advance mid-pass).
+  if (!to_remediate.empty()) {
+    std::vector<RemediationOutcome> outcomes(to_remediate.size());
+    if (pool == nullptr) {
+      for (size_t i = 0; i < to_remediate.size(); ++i) {
+        outcomes[i] = remediate_one(to_remediate[i], now);
+      }
+    } else {
+      pool->parallel_for(to_remediate.size(), [&](size_t i) {
+        outcomes[i] = remediate_one(to_remediate[i], now);
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RemediationOutcome& outcome : outcomes) {
+      if (outcome.healed) {
+        quarantine_.erase(outcome.device_id);
+        scheduler_.note_remediated(outcome.device_id, now);
+      } else {
+        auto it = quarantine_.find(outcome.device_id);
+        if (it != quarantine_.end()) ++it->second.remediation_attempts;
+      }
+    }
+    report.remediations = std::move(outcomes);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.quarantined_after = quarantine_.size();
+  }
+  return report;
+}
+
+}  // namespace eilid

@@ -1,0 +1,263 @@
+// Fleet health: periodic attestation heartbeats, per-device freshness,
+// quarantine, and automated remediation -- the subsystem that makes the
+// fleet *self-healing*. PAISA-style: verifiers judge not just whether a
+// device's evidence verifies but *when* it last did; a device that
+// silently stops announcing is exactly as suspect as one that convicts.
+//
+// Three layers, all driven by the fleet's deterministic FleetClock
+// (eilid/clock.h) -- no wall clock anywhere, so nothing flakes:
+//
+//   - HeartbeatScheduler: drives periodic per-device attestation sweeps
+//     on a configurable cadence (plus a deterministic per-device jitter
+//     phase so a fleet's heartbeats don't all land on one tick),
+//     maintaining a FreshnessRecord per CFA-capable device:
+//     last_attested_tick, last_ok_tick, misses, convicted. An offline
+//     device (DeviceSession::set_online(false) -- the announcement
+//     stops arriving) records a miss and its freshness decays.
+//   - assess(): the quarantine decision, a *pure function* of one
+//     freshness record, the current tick and the policy (property-
+//     tested: no hidden state, same inputs -> same verdict). A device
+//     is quarantined when its last clean verdict is older than the
+//     staleness threshold (stale or missing announcements) or when its
+//     most recent evidence convicted it.
+//   - HealthMonitor: owns the scheduler, a latched quarantine set, and
+//     an optional staged remediation campaign. run_until() advances
+//     fleet time, fires due heartbeats, quarantines stale/convicted
+//     devices, and -- when a remediation campaign is staged --
+//     remediates every quarantined device with no operator action:
+//     reflash (factory reset to the recorded image, so even a device
+//     diverged by a rogue patch becomes updatable again), re-update
+//     through the ordinary UpdateCampaign machinery (fresh epoch
+//     marker, replay-CFG swap), then an immediate re-attestation.
+//     A clean verdict releases the device from quarantine; anything
+//     else (still offline, refused update, convicting evidence) keeps
+//     it quarantined for the next pass.
+//
+//   eilid::Fleet fleet;                       // fleet.clock() is time
+//   ... provision kCfaBaseline devices ...
+//   eilid::HealthMonitor health(fleet, {.heartbeat = {.period = 100},
+//                                       .policy = {.staleness_threshold = 300}});
+//   health.stage_remediation(fleet.stage_update(golden_build));
+//   auto report = health.run_until(fleet.clock().now() + 1000);
+//   // stale/convicted devices are already quarantined, reset,
+//   // re-updated and re-attested -- report says exactly what healed.
+//
+// Concurrency contract: run_until(pool) fans each beat's sweep and the
+// remediation pass out with the same per-device DeviceSession::mutex()
+// locking as VerifierService::verify_all and UpdateCampaign::apply_to;
+// its HealthReport is bit-identical to the serial run_until()'s, and
+// repeated runs at the same seed and clock schedule are bit-identical
+// to each other. Remediation can never race an in-flight campaign on a
+// device: both funnel through UpdateCampaign::apply_to, which holds the
+// device's session mutex from package verification through CFG-epoch
+// staging, so the two updates serialize per device and each one's
+// outcome is decided entirely under the lock. A scheduler/monitor
+// object itself is single-driver: one run_until at a time.
+#ifndef EILID_EILID_HEALTH_H
+#define EILID_EILID_HEALTH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eilid/clock.h"
+#include "eilid/fleet.h"
+#include "eilid/update.h"
+
+namespace eilid {
+
+struct HeartbeatOptions {
+  // Cadence between one device's heartbeats, in simulated ticks.
+  Tick period = 100;
+  // Deterministic per-device phase offset in [0, jitter], derived from
+  // (jitter_seed, device id) via common::SeededRng::keyed -- the same
+  // fleet at the same seed always beats on the same schedule, but the
+  // fleet's devices don't all sweep on the same tick.
+  Tick jitter = 0;
+  uint64_t jitter_seed = 0x48b5a1f2;
+};
+
+// Everything the quarantine decision may consult, per device. Owned by
+// the HeartbeatScheduler; mirrors (and is cross-checkable against) the
+// verifier's own VerifierService::Freshness bookkeeping.
+struct FreshnessRecord {
+  std::string device_id;
+  Tick enrolled_tick = 0;       // when the scheduler first saw the device
+  Tick next_due = 0;            // next scheduled heartbeat
+  Tick last_attested_tick = 0;  // evidence last collected (any verdict)
+  Tick last_ok_tick = 0;        // verdict last came back ok()
+  uint32_t heartbeats = 0;      // beats that produced evidence
+  uint32_t misses = 0;          // due beats the device was offline for
+  bool ever_attested = false;
+  bool ever_ok = false;
+  bool convicted = false;  // most recent evidence convicted the device
+
+  bool operator==(const FreshnessRecord&) const = default;
+};
+
+// One due tick's sweep: every device whose heartbeat fell on `tick`.
+struct HeartbeatBeat {
+  Tick tick = 0;
+  // Verdicts for the online due devices, in enrollment-id order (the
+  // subset-sweep contract).
+  std::vector<VerifierService::AttestResult> verdicts;
+  std::vector<std::string> missed;  // offline due devices, sorted
+
+  bool operator==(const HeartbeatBeat&) const = default;
+};
+
+struct HeartbeatReport {
+  Tick from = 0;   // clock at run_until entry
+  Tick until = 0;  // clock at return (== the requested deadline)
+  std::vector<HeartbeatBeat> beats;  // in tick order
+
+  bool operator==(const HeartbeatReport&) const = default;
+};
+
+// Drives periodic attestation sweeps. Watches every CFA-capable
+// session in the fleet's registry (non-CFA devices emit no
+// announcements and are not judged); devices deployed after
+// construction join on the next run_until, decommissioned devices are
+// pruned (decommission must not race a run, per the fleet contract).
+class HeartbeatScheduler {
+ public:
+  explicit HeartbeatScheduler(Fleet& fleet, HeartbeatOptions options = {});
+
+  // Advance fleet time to `deadline`, firing every due heartbeat on the
+  // way in deterministic (tick, device-id) order. Each beat sweeps the
+  // online due devices via the verifier's subset sweep (per-device
+  // locking; the pooled overload fans the sweep out and returns a
+  // bit-identical report) and updates the freshness records.
+  HeartbeatReport run_until(Tick deadline);
+  HeartbeatReport run_until(Tick deadline, common::ThreadPool& pool);
+
+  // Snapshot of every watched device's record, sorted by device id.
+  std::vector<FreshnessRecord> records() const;
+  // One device's record (value-initialized when unwatched).
+  FreshnessRecord record(const std::string& device_id) const;
+
+  // Fold a successful remediation into the schedule: the device just
+  // produced a clean verdict at `tick`, so its freshness restarts
+  // (HealthMonitor calls this; the next regular beat stays scheduled).
+  void note_remediated(const std::string& device_id, Tick tick);
+
+  const HeartbeatOptions& options() const { return options_; }
+
+ private:
+  HeartbeatReport run(Tick deadline, common::ThreadPool* pool);
+  Tick phase_for(const std::string& device_id) const;
+
+  Fleet* fleet_;
+  HeartbeatOptions options_;
+  mutable std::mutex mu_;  // guards records_
+  std::map<std::string, FreshnessRecord> records_;
+};
+
+// When (and why) a device must be pulled from service.
+enum class QuarantineReason : uint8_t {
+  kNone,       // healthy: fresh, clean evidence
+  kStale,      // announcements stale or missing past the threshold
+  kConvicted,  // most recent evidence convicted the device
+};
+
+std::string_view quarantine_reason_name(QuarantineReason reason);
+
+struct HealthPolicy {
+  // A device whose last clean verdict (or enrollment, if it never had
+  // one) is more than this many ticks old is quarantined as stale.
+  Tick staleness_threshold = 300;
+  // Quarantine on a convicting verdict (not just on silence).
+  bool quarantine_convicted = true;
+};
+
+// THE quarantine decision: a pure function of one freshness record, the
+// current tick and the policy. No other state may influence it -- the
+// property suite re-invokes it on copied records and on randomly
+// generated ones and demands identical answers. Conviction outranks
+// staleness; a frozen clock (now == enrolled_tick, nothing ever swept)
+// quarantines nothing.
+QuarantineReason assess(const FreshnessRecord& record, Tick now,
+                        const HealthPolicy& policy);
+
+struct QuarantineEntry {
+  std::string device_id;
+  QuarantineReason reason = QuarantineReason::kNone;
+  Tick since = 0;  // tick the device entered quarantine
+  uint32_t remediation_attempts = 0;
+
+  bool operator==(const QuarantineEntry&) const = default;
+};
+
+// One automated remediation attempt: reflash -> re-update -> re-attest.
+struct RemediationOutcome {
+  std::string device_id;
+  QuarantineReason reason = QuarantineReason::kNone;
+  Tick tick = 0;
+  bool reachable = false;  // offline devices cannot be remediated
+  UpdateOutcome update;    // the re-update (kAlreadyCurrent is fine)
+  VerifierService::AttestResult verdict;  // the post-remediation sweep
+  bool healed = false;     // update ok() and verdict ok(): released
+
+  bool operator==(const RemediationOutcome&) const = default;
+};
+
+struct HealthReport {
+  HeartbeatReport heartbeats;
+  // Devices quarantined by this pass, sorted by id (devices already in
+  // quarantine are not re-reported).
+  std::vector<QuarantineEntry> newly_quarantined;
+  // One attempt per quarantined device this pass (remediation staged
+  // only), sorted by id.
+  std::vector<RemediationOutcome> remediations;
+  size_t quarantined_after = 0;  // quarantine population at return
+
+  bool operator==(const HealthReport&) const = default;
+};
+
+struct HealthOptions {
+  HeartbeatOptions heartbeat;
+  HealthPolicy policy;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(Fleet& fleet, HealthOptions options = {});
+
+  // Advance fleet time to `deadline`: heartbeats fire on cadence,
+  // stale/convicted devices enter quarantine, and every quarantined
+  // device gets one remediation attempt (when a campaign is staged).
+  // The pooled overload returns a bit-identical report.
+  HealthReport run_until(Tick deadline);
+  HealthReport run_until(Tick deadline, common::ThreadPool& pool);
+
+  // Stage the campaign remediation re-updates devices with (normally
+  // Fleet::stage_update onto the fleet's golden build). Until one is
+  // staged, quarantined devices stay quarantined.
+  void stage_remediation(UpdateCampaign campaign);
+
+  std::vector<QuarantineEntry> quarantined() const;  // sorted by id
+  std::vector<FreshnessRecord> records() const { return scheduler_.records(); }
+  HeartbeatScheduler& scheduler() { return scheduler_; }
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthReport run(Tick deadline, common::ThreadPool* pool);
+  RemediationOutcome remediate_one(const QuarantineEntry& entry, Tick now);
+
+  Fleet* fleet_;
+  HealthOptions options_;
+  HeartbeatScheduler scheduler_;
+  mutable std::mutex mu_;  // guards quarantine_
+  std::map<std::string, QuarantineEntry> quarantine_;
+  std::optional<UpdateCampaign> remediation_;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_HEALTH_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -133,8 +134,15 @@ std::vector<UpdateOutcome> CampaignScheduler::apply_wave(
 
 RolloutReport CampaignScheduler::execute(common::ThreadPool* pool) {
   const Resolved resolved = resolve();
+  FleetClock& clock = fleet_->clock();
   RolloutReport report;
   report.held = resolved.held;
+
+  // rollback_on_halt needs each touched device's *prior* build -- the
+  // session re-points at the target on a successful apply, so capture
+  // the mapping before each wave runs.
+  std::map<DeviceSession*, std::shared_ptr<const core::BuildResult>>
+      prior_builds;
 
   for (size_t w = 0; w < plan_.waves.size(); ++w) {
     const std::vector<DeviceSession*>& members = resolved.waves[w];
@@ -153,17 +161,45 @@ RolloutReport CampaignScheduler::execute(common::ThreadPool* pool) {
       continue;
     }
 
+    if (plan_.rollback_on_halt) {
+      for (DeviceSession* session : members) {
+        prior_builds.emplace(session, session->shared_build());
+      }
+    }
+
     wave.updates = apply_wave(members, pool);
+    wave.applied_tick = clock.now();
+    if (plan_.soak_ticks > 0) {
+      // Immediate post-apply sweep: the update itself must already
+      // attest clean before the wave earns its soak window.
+      wave.soak_gate = pool == nullptr
+                           ? fleet_->verifier().verify_all(members)
+                           : fleet_->verifier().verify_all(members, *pool);
+    }
     if (plan_.probe) plan_.probe(members, pool);
+    if (plan_.soak_ticks > 0) {
+      // Soak: let the probed (new) firmware age for soak_ticks of
+      // fleet time, then re-sweep. Evidence produced *since* the first
+      // sweep -- the probe's -- is what this gate judges, so a
+      // compromise that only fires once the new build runs is caught
+      // here rather than after promotion.
+      clock.advance(plan_.soak_ticks);
+      wave.soaked_until = clock.now();
+    }
     wave.gate = pool == nullptr
                     ? fleet_->verifier().verify_all(members)
                     : fleet_->verifier().verify_all(members, *pool);
+    wave.gated_tick = clock.now();
 
-    // A device fails its wave on a rejected/refused update or a gate
-    // conviction; a device failing both counts once.
+    // A device fails its wave on a rejected/refused update or a
+    // conviction at either gate; a device failing several ways counts
+    // once.
     std::set<std::string> failed;
     for (const UpdateOutcome& update : wave.updates) {
       if (!update.ok()) failed.insert(update.device_id);
+    }
+    for (const VerifierService::AttestResult& verdict : wave.soak_gate) {
+      if (verdict.attested && !verdict.ok()) failed.insert(verdict.device_id);
     }
     for (const VerifierService::AttestResult& verdict : wave.gate) {
       if (verdict.attested && !verdict.ok()) failed.insert(verdict.device_id);
@@ -181,7 +217,66 @@ RolloutReport CampaignScheduler::execute(common::ThreadPool* pool) {
     }
     report.waves.push_back(std::move(wave));
   }
+
+  if (report.halted && plan_.rollback_on_halt) {
+    roll_back(report, resolved.waves, prior_builds, pool);
+  }
   return report;
+}
+
+void CampaignScheduler::roll_back(
+    RolloutReport& report,
+    const std::vector<std::vector<DeviceSession*>>& waves,
+    const std::map<DeviceSession*,
+                   std::shared_ptr<const core::BuildResult>>& prior_builds,
+    common::ThreadPool* pool) {
+  report.rolled_back = true;
+  report.rollback_tick = fleet_->clock().now();
+
+  // One reverse campaign per distinct prior build (a mixed-version
+  // fleet rolled forward from several builds rolls back to several),
+  // built with the forward campaign's own options so the transport --
+  // tamper hook included -- is the same in both directions. Campaigns
+  // are symmetric (eilid/update.h): the reverse package carries each
+  // device's *next* anti-rollback version and a fresh epoch marker, so
+  // this is an ordinary authenticated update that happens to restore
+  // old bytes.
+  std::map<const core::BuildResult*, UpdateCampaign> reverse;
+  for (size_t w = 0; w < report.waves.size(); ++w) {
+    WaveOutcome& wave = report.waves[w];
+    if (!wave.applied) continue;
+    const std::vector<DeviceSession*>& members = waves[w];
+    wave.rollbacks.resize(members.size());
+    wave.rolled_back.assign(members.size(), false);
+
+    const size_t limit =
+        plan_.max_in_flight == 0 ? members.size() : plan_.max_in_flight;
+    for (size_t base = 0; base < members.size(); base += limit) {
+      const size_t chunk = std::min(limit, members.size() - base);
+      auto reverse_one = [&](size_t i) {
+        DeviceSession* session = members[base + i];
+        UpdateCampaign& campaign = reverse.at(
+            prior_builds.at(session).get());
+        wave.rollbacks[base + i] = campaign.apply_to(*session);
+        wave.rolled_back[base + i] =
+            wave.rollbacks[base + i].build_swapped;
+      };
+      // Stage the chunk's campaigns before fanning out (the map must
+      // not rehash under concurrent readers).
+      for (size_t i = 0; i < chunk; ++i) {
+        const auto& prior = prior_builds.at(members[base + i]);
+        if (reverse.count(prior.get()) == 0) {
+          reverse.emplace(prior.get(),
+                          fleet_->stage_update(prior, campaign_.options()));
+        }
+      }
+      if (pool == nullptr) {
+        for (size_t i = 0; i < chunk; ++i) reverse_one(i);
+      } else {
+        pool->parallel_for(chunk, reverse_one);
+      }
+    }
+  }
 }
 
 RolloutReport CampaignScheduler::run() { return execute(nullptr); }

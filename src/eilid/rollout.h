@@ -23,12 +23,33 @@
 // ok() -- e.g. a control-flow hijack the CFA log reveals). Held
 // devices are never updated, never swept, and never counted.
 //
+// Two time-driven extensions ride the fleet's deterministic clock
+// (eilid/clock.h):
+//
+//   - Soak windows (plan.soak_ticks > 0): after a wave applies and
+//     passes an immediate post-apply sweep, the scheduler runs the
+//     probe, advances fleet time by soak_ticks, and re-sweeps the wave
+//     before promoting -- a compromise that only manifests once the
+//     new firmware has actually run (the classic time-bomb canary) is
+//     caught by the *second* sweep, and both sweeps' verdicts count
+//     against the budget. Waves stamp applied/gated ticks either way.
+//   - Automatic rollback on halt (plan.rollback_on_halt): when a wave
+//     breaches its budget, every device the halted run already moved
+//     to the target build is driven *back* to the exact build it ran
+//     before its wave -- a genuine reverse campaign per distinct prior
+//     build (core::diff_builds is symmetric; see eilid/update.h), with
+//     fresh epoch markers and replay-CFG swaps back, so rolled-back
+//     devices keep attesting clean. No operator action, no special
+//     downgrade path.
+//
 //   eilid::RolloutPlan plan;
 //   plan.holds = {{"ab-cohort", {"unit-f", "unit-g"}}};
 //   plan.waves = {{.name = "canary", .device_ids = {"unit-a"}},
 //                 {.name = "rest", .fraction = 1.0}};
+//   plan.soak_ticks = 50;          // re-sweep 50 ticks after apply
+//   plan.rollback_on_halt = true;  // a halt undoes the partial rollout
 //   auto report = fleet.plan_rollout(v2, plan).run(pool);
-//   if (report.halted) { /* canary burned; the fleet did not */ }
+//   if (report.halted) { /* canary burned; the fleet rolled back */ }
 //
 // Concurrency contract: run(pool) applies updates, probes and gates
 // over the pool with the same per-device locking as
@@ -43,6 +64,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,6 +125,17 @@ struct RolloutPlan {
   // beyond the pool's width). Serial runs are inherently 1-in-flight.
   size_t max_in_flight = 0;
   WaveProbe probe;  // optional
+  // Soak window: after a wave applies (and passes its immediate
+  // post-apply sweep), run the probe, advance the fleet clock by this
+  // many ticks, and sweep the wave *again* before promoting. Both
+  // sweeps count against the budget. 0 = no soak: one sweep, probe
+  // before it (the original flow).
+  Tick soak_ticks = 0;
+  // On a budget breach, drive every device this run moved to the
+  // target back to the exact build it ran before its wave (reverse
+  // campaigns; see the header comment). Devices whose update never
+  // swapped the build are left alone.
+  bool rollback_on_halt = false;
 };
 
 // Per-wave slice of the report. Later waves of a halted plan are
@@ -110,10 +144,24 @@ struct WaveOutcome {
   std::string name;
   std::vector<std::string> device_ids;  // resolved membership order
   std::vector<UpdateOutcome> updates;   // one per device, same order
-  // Attestation gate verdicts over exactly this wave, in
-  // enrollment-id order (the subset-sweep contract).
+  // Soaking plans only: the immediate post-apply sweep (before the
+  // probe and the soak window). Empty when soak_ticks == 0.
+  std::vector<VerifierService::AttestResult> soak_gate;
+  // The promoting attestation gate over exactly this wave, in
+  // enrollment-id order (the subset-sweep contract). With a soak
+  // window this is the *re*-sweep after soaked firmware has run.
   std::vector<VerifierService::AttestResult> gate;
-  size_t failures = 0;   // distinct devices failing update and/or gate
+  // Fleet-clock stamps (0 on waves a halt left untouched).
+  Tick applied_tick = 0;  // when the wave's updates were applied
+  Tick gated_tick = 0;    // when the promoting gate swept
+  Tick soaked_until = 0;  // clock after the soak window (0: no soak)
+  // rollback_on_halt only: the reverse-campaign outcome per device,
+  // parallel to device_ids (kAlreadyCurrent for devices whose forward
+  // update never swapped the build), and whether that device's build
+  // was actually swapped back. Empty on runs that never rolled back.
+  std::vector<UpdateOutcome> rollbacks;
+  std::vector<bool> rolled_back;
+  size_t failures = 0;   // distinct devices failing update and/or gates
   size_t allowance = 0;  // budget.allowance(wave size)
   bool applied = false;  // campaign + gate ran on this wave
   bool within_budget = false;  // failures <= allowance (when applied)
@@ -127,6 +175,8 @@ struct RolloutReport {
   size_t waves_applied = 0;
   bool halted = false;
   std::string halt_reason;  // "" unless halted
+  bool rolled_back = false;  // a halt triggered the automatic rollback
+  Tick rollback_tick = 0;    // fleet clock when the rollback ran
 
   bool ok() const { return !halted; }
   bool operator==(const RolloutReport&) const = default;
@@ -159,6 +209,16 @@ class CampaignScheduler {
   RolloutReport execute(common::ThreadPool* pool);
   std::vector<UpdateOutcome> apply_wave(
       const std::vector<DeviceSession*>& wave, common::ThreadPool* pool);
+  // Reverse every swapped device in `touched` (session -> the build it
+  // ran before its wave) back onto that prior build, filling each
+  // wave's rollbacks/rolled_back slots. Runs under the same chunked
+  // max_in_flight fan-out as apply_wave.
+  void roll_back(
+      RolloutReport& report,
+      const std::vector<std::vector<DeviceSession*>>& waves,
+      const std::map<DeviceSession*,
+                     std::shared_ptr<const core::BuildResult>>& prior_builds,
+      common::ThreadPool* pool);
 
   Fleet* fleet_;
   UpdateCampaign campaign_;

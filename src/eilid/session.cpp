@@ -1,6 +1,11 @@
 #include "eilid/session.h"
 
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "common/error.h"
+#include "sim/memory_map.h"
 
 namespace eilid {
 
@@ -137,6 +142,31 @@ void DeviceSession::adopt_build(std::shared_ptr<const core::BuildResult> next) {
 std::string DeviceSession::last_reset_reason() const {
   if (machine_.violation_count() == 0) return "";
   return sim::reset_reason_name(machine_.resets().back().reason);
+}
+
+void DeviceSession::reflash() {
+  // Restore the *entire* code ranges from the recorded build's flat
+  // snapshot -- the same core::flat_memory() the update engine's
+  // kImageMismatch scan compares against -- not just the image's
+  // chunks: a rogue patch may have landed in PMEM the build never
+  // occupied, and those bytes must go back to the flash default too or
+  // the device stays diverged. The stores land at/above the code floor
+  // and bump the bus's code generation; re-attaching the build's
+  // shared table afterwards re-snapshots the generation, so the
+  // restored device decodes from the build-time table again instead of
+  // falling back to interpretive decode.
+  const std::vector<uint8_t> flat = core::flat_memory(*build_);
+  const std::pair<size_t, size_t> code_ranges[] = {
+      {sim::kRomStart, sim::kRomEnd}, {sim::kPmemStart, 0xFFFF}};
+  for (const auto& [first, last] : code_ranges) {
+    machine_.load(static_cast<uint16_t>(first),
+                  std::span<const uint8_t>(flat.data() + first,
+                                           last - first + 1));
+  }
+  if (options_.predecode && build_->decoded_image != nullptr) {
+    machine_.attach_decoded_image(build_->decoded_image);
+  }
+  power_cycle();
 }
 
 void DeviceSession::power_cycle() {

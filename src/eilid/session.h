@@ -8,6 +8,7 @@
 #ifndef EILID_EILID_SESSION_H
 #define EILID_EILID_SESSION_H
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -125,6 +126,29 @@ class DeviceSession {
   // verifier's replay state is untouched -- it lives off-device.
   void power_cycle();
 
+  // Factory recovery: restore the flashed code regions (PMEM + secure
+  // ROM) byte-for-byte from the session's *recorded* build, re-attach
+  // its shared predecoded table, then power_cycle(). This is the
+  // "reset" half of fleet remediation -- a device that diverged from
+  // its recorded image (rogue but validly-MAC'd patch, kNone
+  // self-modification) is put back onto a known image so a subsequent
+  // build-transition update is applicable again (no kImageMismatch).
+  // Like power_cycle(), the CFA log survives with a reset marker.
+  void reflash();
+
+  // Simulated reachability. An offline device stops producing the
+  // periodic attestation announcements fleet health is built on: its
+  // heartbeats are recorded as misses (its freshness goes stale) and
+  // remediation cannot touch it until it returns. Pure fault-injection
+  // state -- the simulated machine itself keeps running; direct
+  // attest()/verify_all() calls are unaffected (the transport they
+  // model is the challenge-response path, whose loss is modeled by
+  // simply not calling them). Thread-safe.
+  bool online() const { return online_.load(std::memory_order_acquire); }
+  void set_online(bool online) {
+    online_.store(online, std::memory_order_release);
+  }
+
   // Per-device lock for fleet-level concurrency. A session is itself
   // single-threaded; when several fleet actors may touch the same
   // device at once (a workload driver simulating it, an attestation
@@ -144,6 +168,7 @@ class DeviceSession {
   std::unique_ptr<core::EilidHwMonitor> hw_monitor_;
   std::unique_ptr<cfa::CfaMonitor> cfa_monitor_;
   std::unique_ptr<casu::UpdateEngine> update_engine_;
+  std::atomic<bool> online_{true};
 };
 
 }  // namespace eilid

@@ -21,6 +21,16 @@
 // cache), stamps each package with that device's next version, and
 // MACs it with that device's key -- one campaign heals a fleet
 // scattered across several firmware generations.
+//
+// Campaigns are *symmetric*: core::diff_builds(new, old) is as valid a
+// transition as diff_builds(old, new), so staging a campaign whose
+// target is a build devices previously ran yields a genuine rollback
+// -- authenticated, version-monotonic (the reverse package carries the
+// device's *next* anti-rollback version; returning to old bytes is not
+// a version rollback), with a fresh epoch marker and a replay-CFG swap
+// back to the old CFG. CampaignScheduler's rollback_on_halt and
+// HealthMonitor remediation are both built on exactly this: no special
+// downgrade path exists, or needs to.
 #ifndef EILID_EILID_UPDATE_H
 #define EILID_EILID_UPDATE_H
 

@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "eilid/fleet.h"
+#include "eilid/health.h"
 
 namespace eilid {
 namespace {
@@ -453,6 +454,68 @@ TEST(FleetConcurrency, CampaignRacesAttestationSweeps) {
     EXPECT_TRUE(outcome.cfg_staged) << outcome.device_id;
   }
   EXPECT_GE(sweeps.load(), 1u);
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    EXPECT_TRUE(verdict.ok()) << verdict.device_id;
+  }
+}
+
+// Heartbeat sweeps race a pooled campaign rollout (the TSan-interesting
+// case for the health layer): the scheduler's beats are subset sweeps
+// riding the same per-device locks as the updates, and the campaign
+// stages each device's CFG epoch under the very lock that logs the
+// marker -- so no beat, whatever the interleaving, can ever drain an
+// unsanctioned marker. Every heartbeat verdict during the race must
+// therefore be clean, and the freshness records stay coherent.
+TEST(FleetConcurrency, HeartbeatSweepsRaceRollout) {
+  Fleet fleet;
+  constexpr size_t kDevices = 12;
+  for (size_t i = 0; i < kDevices; ++i) {
+    DeviceSession& dev =
+        fleet.provision("beat-" + std::to_string(i), kTinyApp, "tiny",
+                        EnforcementPolicy::kCfaBaseline);
+    dev.run_to_symbol("halt", 100000);
+  }
+  UpdateCampaign campaign =
+      fleet.stage_update(kTinyAppV2, "tiny", {.eilid = false});
+
+  HeartbeatScheduler heartbeat(fleet,
+                               {.period = 5, .jitter = 3, .jitter_seed = 11});
+  common::ThreadPool beat_pool(2);
+  common::ThreadPool rollout_pool(4);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> beats{0};
+  std::thread driver([&] {
+    Tick deadline = 0;
+    while (!done.load()) {
+      deadline += 100;
+      const HeartbeatReport report = heartbeat.run_until(deadline, beat_pool);
+      for (const auto& beat : report.beats) {
+        for (const auto& verdict : beat.verdicts) {
+          EXPECT_TRUE(verdict.attested) << verdict.device_id;
+          EXPECT_TRUE(verdict.mac_ok) << verdict.device_id;
+          EXPECT_TRUE(verdict.seq_ok) << verdict.device_id;
+          EXPECT_TRUE(verdict.path_ok) << verdict.device_id;
+        }
+      }
+      beats += report.beats.size();
+    }
+  });
+  auto outcomes = campaign.roll_out(rollout_pool);
+  // Don't let a fast rollout beat the driver to zero beats under load.
+  while (beats.load() == 0) std::this_thread::yield();
+  done.store(true);
+  driver.join();
+
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.result, UpdateResult::kApplied) << outcome.device_id;
+    EXPECT_TRUE(outcome.cfg_staged) << outcome.device_id;
+  }
+  EXPECT_GE(beats.load(), 1u);
+  for (const FreshnessRecord& record : heartbeat.records()) {
+    EXPECT_FALSE(record.convicted) << record.device_id;
+    EXPECT_TRUE(record.ever_ok) << record.device_id;
+    EXPECT_EQ(record.misses, 0u) << record.device_id;
+  }
   for (const auto& verdict : fleet.verifier().verify_all()) {
     EXPECT_TRUE(verdict.ok()) << verdict.device_id;
   }

@@ -26,7 +26,7 @@ struct GeneratedProgram {
 // Random program: functions f0..fN-1 where fi only calls fj (j > i),
 // ensuring termination without recursion (which EILID excludes, §VII).
 GeneratedProgram generate(uint64_t seed) {
-  Rng rng(seed);
+  common::SeededRng rng(seed);
   GeneratedProgram prog;
   prog.num_functions = rng.range(2, 7);
   prog.has_isr = rng.chance(1, 2);
@@ -150,7 +150,7 @@ TEST_P(CorruptedReturns, AlwaysCaughtBeforeUse) {
 
   // Corrupt the freshly pushed return address at the entry of a random
   // function (at its first instruction [SP] holds the return address).
-  Rng rng(seed * 977);
+  common::SeededRng rng(seed * 977);
   int victim = static_cast<int>(rng.below(
       static_cast<uint64_t>(prog.num_functions)));
   attacks::AttackEngine engine(device.machine());

@@ -63,7 +63,7 @@ std::string device_id(size_t i) {
 }
 
 GeneratedCase generate(uint64_t seed) {
-  Rng rng(seed);
+  common::SeededRng rng(seed);
   GeneratedCase c;
   c.devices = static_cast<size_t>(rng.range(6, 16));
   for (size_t i = 0; i < c.devices; ++i) {
