@@ -18,7 +18,14 @@
 // Correctness gates (the bench FAILS on any violation): the membership
 // checks above, plus determinism -- every thread count's sequence of
 // HealthReports (and cadence HeartbeatReports) must be bit-identical
-// to the serial row's.
+// to the serial row's, including the mid-scenario per-device staleness
+// histogram (snapshotted right after the stale eighth is quarantined:
+// exactly the devices past the policy threshold must sit in the
+// over-threshold buckets).
+//
+// Results land in BENCH_fleet_health.json (committed at the repo root;
+// CI re-runs the bench and scripts/check_bench_regression.py compares
+// fresh numbers against the committed baseline).
 //
 // Usage: bench_fleet_health [--smoke]   (--smoke: CI-sized fleet)
 #include <chrono>
@@ -76,11 +83,20 @@ bool forced_diverged(size_t i) { return i % 8 == 6; }  // convicts
 constexpr Tick kCadences[] = {25, 50, 100};
 constexpr Tick kHorizon = 1000;
 
+// Staleness histogram bucket upper edges (ticks since the last clean
+// verdict); the final bucket is everything past the last edge.
+constexpr Tick kStalenessEdges[] = {50, 100, 200, 400};
+constexpr size_t kStalenessBuckets =
+    sizeof(kStalenessEdges) / sizeof(kStalenessEdges[0]) + 1;
+
 struct RowResult {
   size_t threads = 0;
   double cadence_ms = 0;  // all three cadences, summed
   double heal_ms = 0;     // the four-pass self-healing scenario
   size_t verdicts = 0;    // cadence-sweep verdicts (for verdicts/sec)
+  // Per-device staleness histogram, snapshotted after pass 2 (see
+  // below): counts per kStalenessEdges bucket, last bucket = overflow.
+  std::vector<size_t> staleness_hist;
   bool gates_ok = true;
   std::vector<HeartbeatReport> cadence_reports;  // compared across rows
   std::vector<HealthReport> heal_reports;        // ditto
@@ -215,6 +231,33 @@ RowResult run_row(size_t threads, size_t devices) {
     fail(row, "pass 2: stale devices not held in quarantine");
   }
 
+  // Staleness histogram at the scenario's most contrasty moment: the
+  // online seven-eighths beat clean moments ago, the offline eighth has
+  // aged past the threshold. Staleness = ticks since the last clean
+  // verdict (enrollment when there never was one).
+  {
+    const Tick now = fleet.clock().now();
+    row.staleness_hist.assign(kStalenessBuckets, 0);
+    size_t over_threshold = 0;
+    for (const FreshnessRecord& record : health.records()) {
+      const Tick anchor =
+          record.ever_ok ? record.last_ok_tick : record.enrolled_tick;
+      const Tick age = now >= anchor ? now - anchor : 0;
+      size_t bucket = kStalenessBuckets - 1;
+      for (size_t b = 0; b < kStalenessBuckets - 1; ++b) {
+        if (age <= kStalenessEdges[b]) {
+          bucket = b;
+          break;
+        }
+      }
+      ++row.staleness_hist[bucket];
+      if (age > 250) ++over_threshold;  // the monitor's threshold
+    }
+    if (over_threshold != offline_ids.size()) {
+      fail(row, "staleness histogram: over-threshold population wrong");
+    }
+  }
+
   // Pass 3: the stale devices come back online and heal -- reflash,
   // re-update onto the golden build, clean verdict, released.
   for (const std::string& id : offline_ids) fleet.at(id).set_online(true);
@@ -287,15 +330,71 @@ int main(int argc, char** argv) {
       ok = false;
     }
     if (!(row.cadence_reports == base.cadence_reports) ||
-        !(row.heal_reports == base.heal_reports)) {
+        !(row.heal_reports == base.heal_reports) ||
+        row.staleness_hist != base.staleness_hist) {
       std::printf("  !! threads=%zu: reports diverge from the serial row\n",
                   row.threads);
       ok = false;
     }
   }
+
+  std::printf("staleness histogram after pass 2 (ticks since last clean "
+              "verdict):\n");
+  for (size_t b = 0; b < kStalenessBuckets; ++b) {
+    if (b < kStalenessBuckets - 1) {
+      std::printf("  <= %4llu: %zu\n",
+                  static_cast<unsigned long long>(kStalenessEdges[b]),
+                  base.staleness_hist[b]);
+    } else {
+      std::printf("   > %4llu: %zu\n",
+                  static_cast<unsigned long long>(
+                      kStalenessEdges[kStalenessBuckets - 2]),
+                  base.staleness_hist[b]);
+    }
+  }
   std::printf("reports: %zu heartbeat + %zu health per row, bit-identical "
               "across all thread counts\n",
               base.cadence_reports.size(), base.heal_reports.size());
+
+  std::string rows_json;
+  for (const RowResult& row : rows) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"threads\": %zu, \"cadence_ms\": %.2f, \"heal_ms\": %.2f, "
+        "\"verdicts_per_sec\": %.0f, \"speedup\": %.2f, \"gates_ok\": %s},\n",
+        row.threads, row.cadence_ms, row.heal_ms,
+        row.cadence_ms > 0
+            ? 1000.0 * static_cast<double>(row.verdicts) / row.cadence_ms
+            : 0.0,
+        row.cadence_ms > 0 ? base.cadence_ms / row.cadence_ms : 0.0,
+        row.gates_ok ? "true" : "false");
+    rows_json += buf;
+  }
+  if (!rows_json.empty()) rows_json.resize(rows_json.size() - 2);
+  std::string hist_json;
+  for (size_t b = 0; b < kStalenessBuckets; ++b) {
+    char buf[96];
+    std::snprintf(
+        buf, sizeof(buf), "    {\"le\": %s, \"count\": %zu},\n",
+        b < kStalenessBuckets - 1
+            ? std::to_string(kStalenessEdges[b]).c_str()
+            : "null",
+        base.staleness_hist[b]);
+    hist_json += buf;
+  }
+  if (!hist_json.empty()) hist_json.resize(hist_json.size() - 2);
+  FILE* json = std::fopen("BENCH_fleet_health.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"fleet_health\",\n  \"mode\": \"%s\",\n"
+                 "  \"devices\": %zu,\n  \"rows\": [\n%s\n  ],\n"
+                 "  \"staleness_histogram\": [\n%s\n  ],\n  \"ok\": %s\n}\n",
+                 smoke ? "smoke" : "full", devices, rows_json.c_str(),
+                 hist_json.c_str(), ok ? "true" : "false");
+    std::fclose(json);
+  }
+
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -1,18 +1,24 @@
 // Simulator-core throughput: simulated instructions per wall-clock
-// second (MIPS), per enforcement policy, for the predecoded fast path
-// vs the pure interpretive core -- plus a fleet sweep driving many
-// devices from a thread pool. This seeds the bench trajectory for the
-// hot loop: every future perf PR must beat the table this emits
+// second (MIPS), per enforcement policy, as a THREE-WAY engine oracle:
+// interpretive vs predecoded (per-instruction table dispatch) vs
+// superblock (block-granular dispatch) -- plus a fleet sweep driving
+// many devices from a thread pool. This seeds the bench trajectory for
+// the hot loop: every future perf PR must beat the table this emits
 // (BENCH_sim_throughput.json).
 //
 // Correctness gates (the bench FAILS on any violation):
-//   - per policy, the predecoded and interpretive runs retire the same
-//     instruction count over the same simulated cycles and their
-//     retired-instruction traces (from, to, fallthrough per step) have
-//     identical fingerprints,
-//   - for kCfaBaseline, the attestation verdicts of both runs are
-//     identical (same seq/mac_ok/seq_ok/path_ok/edges/dropped).
-// Wall-clock numbers are reported but not gated (host-dependent).
+//   - per policy, all three engines retire the same instruction count
+//     over the same simulated cycles and their retired-instruction
+//     traces (from, to, fallthrough per step) have identical
+//     fingerprints,
+//   - for kCfaBaseline, the attestation verdicts of all three runs are
+//     identical (same seq/mac_ok/seq_ok/path_ok/edges/dropped),
+//   - the superblock timed run actually dispatched blocks (the fast
+//     path engaged; a silently-degraded run would gate green on
+//     identity while measuring nothing).
+// Wall-clock numbers are reported but not gated (host-dependent); the
+// CI regression gate (scripts/check_bench_regression.py) compares the
+// emitted speedups against the committed baseline instead.
 //
 // Usage: bench_sim_throughput [--smoke]   (--smoke: CI-sized workload)
 #include <chrono>
@@ -70,6 +76,9 @@ mix:
 )";
 
 // FNV-1a fingerprint over every (from, to, fallthrough) step tuple.
+// Deliberately a wants_step() monitor: attaching it pins the machine
+// to per-instruction execution under every engine, so the traced runs
+// compare the engines' architectural effects, not their dispatch.
 class TraceFingerprint : public sim::Monitor {
  public:
   void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) override {
@@ -94,10 +103,15 @@ constexpr EnforcementPolicy kPolicies[] = {
     EnforcementPolicy::kNone, EnforcementPolicy::kCasu,
     EnforcementPolicy::kCfaBaseline, EnforcementPolicy::kEilidHw};
 
+constexpr ExecutionEngine kEngines[] = {ExecutionEngine::kInterpretive,
+                                        ExecutionEngine::kPredecoded,
+                                        ExecutionEngine::kSuperblock};
+
 struct ModeRun {
   double wall_ms = 0;
   uint64_t instructions = 0;
   uint64_t sim_cycles = 0;
+  uint64_t blocks = 0;  // superblocks dispatched in the timed run
   uint64_t trace_hash = 0;
   uint64_t trace_steps = 0;
   std::string verdict;  // kCfaBaseline only
@@ -115,25 +129,27 @@ std::string verdict_fingerprint(const VerifierService::AttestResult& r) {
   return buf;
 }
 
-// One (policy, decode-mode) measurement: a timed run without tracing,
-// then a short traced run for the cross-mode fingerprint gate.
+// One (policy, engine) measurement: a timed run without tracing, then
+// a short traced run for the cross-engine fingerprint gate.
 ModeRun run_mode(Fleet& fleet, std::shared_ptr<const core::BuildResult> build,
-                 EnforcementPolicy policy, bool predecode,
+                 EnforcementPolicy policy, ExecutionEngine engine,
                  uint64_t timed_cycles, uint64_t traced_cycles, int* serial) {
   auto device_id = [&](const char* kind) {
     return std::string(enforcement_policy_name(policy)) + "-" + kind + "-" +
-           (predecode ? "pre" : "int") + "-" + std::to_string((*serial)++);
+           std::string(execution_engine_name(engine)) + "-" +
+           std::to_string((*serial)++);
   };
   ModeRun out;
   {
     DeviceSession& dev =
         fleet.deploy(device_id("timed"), build, policy,
-                     {.cfa = {.log_capacity = 1 << 12}, .predecode = predecode});
+                     {.cfa = {.log_capacity = 1 << 12}, .engine = engine});
     auto t0 = clock_type::now();
     dev.run(timed_cycles);
     out.wall_ms = ms_since(t0);
     out.instructions = dev.machine().cpu().instructions_retired();
     out.sim_cycles = dev.machine().cycles();
+    out.blocks = dev.machine().blocks_executed();
     if (policy == EnforcementPolicy::kCfaBaseline) {
       out.verdict = verdict_fingerprint(fleet.verifier().attest(dev));
     }
@@ -141,7 +157,7 @@ ModeRun run_mode(Fleet& fleet, std::shared_ptr<const core::BuildResult> build,
   {
     DeviceSession& dev =
         fleet.deploy(device_id("traced"), build, policy,
-                     {.cfa = {.log_capacity = 1 << 12}, .predecode = predecode});
+                     {.cfa = {.log_capacity = 1 << 12}, .engine = engine});
     TraceFingerprint trace;
     dev.machine().add_monitor(&trace);
     dev.run(traced_cycles);
@@ -168,9 +184,10 @@ int main(int argc, char** argv) {
   std::printf("Simulator core throughput (%s: %llu cycles/run)\n\n",
               smoke ? "smoke" : "full",
               static_cast<unsigned long long>(timed_cycles));
-  std::printf("%-13s | %-12s | %-12s | %-9s | %-7s | %s\n", "policy",
-              "interp MIPS", "predec MIPS", "speedup", "trace", "verdict");
-  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::printf("%-13s | %-11s | %-11s | %-11s | %-8s | %-8s | %-6s | %s\n",
+              "policy", "interp MIPS", "predec MIPS", "superb MIPS", "pre x",
+              "blk x", "trace", "verdict");
+  for (int i = 0; i < 92; ++i) std::putchar('-');
   std::putchar('\n');
 
   bool ok = true;
@@ -178,42 +195,69 @@ int main(int argc, char** argv) {
   std::string policy_json;
   for (EnforcementPolicy policy : kPolicies) {
     auto build = policy == EnforcementPolicy::kEilidHw ? instrumented : plain;
-    ModeRun interp = run_mode(fleet, build, policy, /*predecode=*/false,
-                              timed_cycles, traced_cycles, &serial);
-    ModeRun predec = run_mode(fleet, build, policy, /*predecode=*/true,
-                              timed_cycles, traced_cycles, &serial);
+    ModeRun runs[3];
+    for (size_t e = 0; e < 3; ++e) {
+      runs[e] = run_mode(fleet, build, policy, kEngines[e], timed_cycles,
+                         traced_cycles, &serial);
+    }
+    const ModeRun& interp = runs[0];
+    const ModeRun& predec = runs[1];
+    const ModeRun& superb = runs[2];
 
-    const bool trace_ok = interp.trace_hash == predec.trace_hash &&
-                          interp.trace_steps == predec.trace_steps &&
-                          interp.instructions == predec.instructions &&
-                          interp.sim_cycles == predec.sim_cycles;
-    const bool verdict_ok = interp.verdict == predec.verdict;
-    ok = ok && trace_ok && verdict_ok;
+    bool trace_ok = true;
+    bool verdict_ok = true;
+    for (const ModeRun& r : {predec, superb}) {
+      trace_ok = trace_ok && r.trace_hash == interp.trace_hash &&
+                 r.trace_steps == interp.trace_steps &&
+                 r.instructions == interp.instructions &&
+                 r.sim_cycles == interp.sim_cycles;
+      verdict_ok = verdict_ok && r.verdict == interp.verdict;
+    }
+    // The superblock run must actually have engaged block dispatch
+    // (and the other two engines must not have).
+    const bool engaged_ok =
+        superb.blocks > 0 && interp.blocks == 0 && predec.blocks == 0;
+    ok = ok && trace_ok && verdict_ok && engaged_ok;
+    if (!engaged_ok) {
+      std::printf("  !! %s: block dispatch engagement wrong "
+                  "(interp %llu, predec %llu, superblock %llu blocks)\n",
+                  std::string(enforcement_policy_name(policy)).c_str(),
+                  static_cast<unsigned long long>(interp.blocks),
+                  static_cast<unsigned long long>(predec.blocks),
+                  static_cast<unsigned long long>(superb.blocks));
+    }
 
-    const double speedup =
+    const double pre_speedup =
         interp.mips() > 0 ? predec.mips() / interp.mips() : 0.0;
-    std::printf("%-13s | %12.1f | %12.1f | %8.2fx | %-7s | %s\n",
+    const double blk_speedup =
+        interp.mips() > 0 ? superb.mips() / interp.mips() : 0.0;
+    std::printf("%-13s | %11.1f | %11.1f | %11.1f | %7.2fx | %7.2fx | %-6s | %s\n",
                 std::string(enforcement_policy_name(policy)).c_str(),
-                interp.mips(), predec.mips(), speedup,
-                trace_ok ? "same" : "DIFFER", verdict_ok ? "same" : "DIFFER");
+                interp.mips(), predec.mips(), superb.mips(), pre_speedup,
+                blk_speedup, trace_ok ? "same" : "DIFFER",
+                verdict_ok ? "same" : "DIFFER");
 
-    char row[512];
+    char row[640];
     std::snprintf(
         row, sizeof(row),
         "    {\"policy\": \"%s\", \"instructions\": %llu, \"sim_cycles\": "
         "%llu, \"mips_interpretive\": %.1f, \"mips_predecoded\": %.1f, "
-        "\"speedup\": %.2f, \"trace_identical\": %s, \"verdict_identical\": "
-        "%s},\n",
+        "\"mips_superblock\": %.1f, \"speedup\": %.2f, "
+        "\"speedup_superblock\": %.2f, \"blocks\": %llu, "
+        "\"trace_identical\": %s, \"verdict_identical\": %s},\n",
         std::string(enforcement_policy_name(policy)).c_str(),
-        static_cast<unsigned long long>(predec.instructions),
-        static_cast<unsigned long long>(predec.sim_cycles),
-        interp.mips(), predec.mips(), speedup, trace_ok ? "true" : "false",
-        verdict_ok ? "true" : "false");
+        static_cast<unsigned long long>(superb.instructions),
+        static_cast<unsigned long long>(superb.sim_cycles), interp.mips(),
+        predec.mips(), superb.mips(), pre_speedup, blk_speedup,
+        static_cast<unsigned long long>(superb.blocks),
+        trace_ok ? "true" : "false", verdict_ok ? "true" : "false");
     policy_json += row;
   }
   if (!policy_json.empty()) policy_json.resize(policy_json.size() - 2);
 
   // --- fleet sweep: N devices, shared builds, pooled drive ----------
+  // Deployed with default SessionOptions, i.e. the superblock engine:
+  // the sweep measures the shipping configuration.
   std::vector<DeviceSession*> devices;
   devices.reserve(fleet_devices);
   for (size_t i = 0; i < fleet_devices; ++i) {

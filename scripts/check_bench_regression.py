@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Bench perf-regression gate.
+
+Compares a freshly emitted bench JSON (BENCH_sim_throughput.json /
+BENCH_fleet_health.json) against the committed baseline and fails when
+any speedup column regressed by more than the tolerance (default 20%).
+
+Only *speedup ratios* are compared, never absolute MIPS or verdict
+rates: a ratio (predecoded-vs-interpretive, superblock-vs-interpretive,
+pooled-vs-serial) divides out the host's raw speed, so the gate is
+meaningful on CI hardware that is faster or slower than the machine
+that produced the committed baseline. Absolute numbers stay visible in
+the uploaded artifacts for human eyes.
+
+Rows are matched by identity key (``policy`` for the sim bench,
+``threads`` for the fleet bench). A row or speedup column present in
+the baseline but missing from the fresh run fails the gate (a silently
+dropped measurement is how regressions hide); a *new* column with no
+baseline is noted and passes. The fresh run's own ``ok`` differential
+gate must also be true.
+
+Usage:
+    check_bench_regression.py FRESH BASELINE [--tolerance 0.20]
+
+Exit status: 0 pass, 1 regression (or malformed input), 2 missing
+baseline file (pass-with-warning: first run after adding a bench).
+
+Stdlib only -- no third-party imports; CI runs it with the system
+python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    """Identity of a result row: whichever of the known keys it carries."""
+    for key in ("policy", "threads"):
+        if key in row:
+            return f"{key}={row[key]}"
+    return None
+
+
+def speedup_columns(row):
+    return {
+        k: v
+        for k, v in row.items()
+        if k.startswith("speedup") and isinstance(v, (int, float))
+    }
+
+
+def rows_of(doc):
+    """The result-row list of a bench document, keyed by row identity."""
+    for key in ("policies", "rows"):
+        rows = doc.get(key)
+        if isinstance(rows, list):
+            indexed = {}
+            for row in rows:
+                rk = row_key(row)
+                if rk is not None:
+                    indexed[rk] = row
+            return indexed
+    return {}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="bench JSON emitted by this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="max fractional speedup loss before failing (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"FAIL: cannot read fresh result {args.fresh}: {err}")
+        return 1
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as err:
+        # First run after a bench was added: nothing to compare against.
+        print(f"WARN: no baseline ({err}); commit the fresh JSON to arm the gate")
+        return 2
+    except ValueError as err:
+        print(f"FAIL: baseline {args.baseline} is not JSON: {err}")
+        return 1
+
+    failures = []
+    if fresh.get("ok") is not True:
+        failures.append("fresh run's own differential gate reported ok=false")
+
+    fresh_rows = rows_of(fresh)
+    for rk, base_row in rows_of(baseline).items():
+        fresh_row = fresh_rows.get(rk)
+        if fresh_row is None:
+            failures.append(f"{rk}: row present in baseline, missing from fresh run")
+            continue
+        fresh_cols = speedup_columns(fresh_row)
+        for col, base_val in speedup_columns(base_row).items():
+            if base_val <= 0:
+                continue
+            fresh_val = fresh_cols.get(col)
+            if fresh_val is None:
+                failures.append(f"{rk}: column {col} dropped from fresh run")
+                continue
+            loss = (base_val - fresh_val) / base_val
+            verdict = "FAIL" if loss > args.tolerance else "ok"
+            print(
+                f"{verdict:>4}  {rk:<24} {col:<20} "
+                f"baseline {base_val:6.2f}x  fresh {fresh_val:6.2f}x  "
+                f"({-loss:+6.1%})"
+            )
+            if loss > args.tolerance:
+                failures.append(
+                    f"{rk}: {col} regressed {loss:.1%} "
+                    f"({base_val:.2f}x -> {fresh_val:.2f}x)"
+                )
+        for col in fresh_cols.keys() - speedup_columns(base_row).keys():
+            print(f"note  {rk:<24} {col:<20} new column, no baseline")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS: no speedup regression beyond "
+          f"{args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,10 @@ class CasuMonitor : public sim::Monitor {
   bool on_fetch(uint16_t pc) override;
   bool on_read(uint16_t addr, uint16_t pc) override;
   bool on_write(uint16_t addr, uint16_t value, bool byte, uint16_t pc) override;
+  // All CASU enforcement snoops the bus (per-access hooks above);
+  // per-instruction retire callouts are never consumed, so CASU-policed
+  // devices stay eligible for superblock dispatch.
+  bool wants_step() const override { return false; }
   std::optional<sim::ResetReason> pending_violation() const override {
     return violation_;
   }

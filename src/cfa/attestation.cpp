@@ -11,14 +11,14 @@ void CfaMonitor::log_edge(LoggedEdge edge) {
   log_.push_back(edge);
 }
 
-void CfaMonitor::on_step(uint16_t from_pc, uint16_t to_pc,
-                         uint16_t fallthrough) {
-  // Anything that did not land on the fall-through address is a
-  // control transfer. (fallthrough == from_pc when nothing decoded, so
-  // illegal-instruction steps log nothing, as before.)
-  if (to_pc != fallthrough) {
-    log_edge({from_pc, to_pc, false});
-  }
+void CfaMonitor::on_control_transfer(uint16_t from_pc, uint16_t to_pc,
+                                     uint16_t fallthrough) {
+  // The machine only fires this when to_pc != fallthrough -- exactly
+  // the predicate the per-step hook used to apply itself -- so every
+  // invocation is a loggable transfer. (Illegal-instruction steps have
+  // fallthrough == from_pc == to_pc and are never reported here.)
+  (void)fallthrough;
+  log_edge({from_pc, to_pc, false});
 }
 
 void CfaMonitor::on_interrupt(int vector_index, uint16_t from_pc,

@@ -60,11 +60,15 @@ class CfaMonitor : public sim::Monitor {
   // sim::Monitor. Note: the log *survives* device resets (ACFA keeps
   // the log slice in attested memory so that evidence of the pre-reset
   // path is preserved); a reset marker edge is appended instead.
-  // Zero-redecode: the machine hands over the already-decoded
-  // fall-through address, so spotting a control transfer is a single
-  // integer compare per retired instruction (the interpretive core
-  // used to decode every instruction a second time here).
-  void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) override;
+  // Block-granular: the monitor consumes only the control-transfer
+  // notification (sequential steps carry no evidence), so it never
+  // claims wants_step() and CFA-policed devices run full superblock
+  // dispatch -- the machine fires on_control_transfer exactly when
+  // to_pc != fallthrough under every engine, so the logged edge stream
+  // and the MACs over it are bit-identical across engines.
+  bool wants_step() const override { return false; }
+  void on_control_transfer(uint16_t from_pc, uint16_t to_pc,
+                           uint16_t fallthrough) override;
   void on_interrupt(int vector_index, uint16_t from_pc, uint16_t to_pc) override;
   void on_device_reset() override;
 

@@ -5,13 +5,19 @@
 //     pairs run the three-iteration pipeline exactly once and share
 //     one immutable BuildResult across every device flashed with it --
 //     including one shared isa::DecodedImage (the ROM predecoded once
-//     per build, consulted by every session's hot loop; a session
-//     falls back to interpretive decode only for PCs outside flash or
-//     after a store lands in the code range, which bumps the bus's
-//     code-generation counter -- CASU-enforced devices never do, so a
-//     fleet of N devices on one build decodes each instruction once,
-//     at build time, total). SessionOptions.predecode = false opts a
-//     session out (pure interpretive core, identical traces/verdicts),
+//     per build) and one shared isa::BlockImage (its superblock
+//     suffix table: for every PC, the straight-line run to the first
+//     hazard). A fleet of N devices on one build decodes each
+//     instruction once and discovers each basic block once, at build
+//     time, total; every session's hot loop then retires whole blocks
+//     with one generation/IRQ check per block. A session falls back
+//     to per-instruction interpretive decode only for PCs outside
+//     flash or after a store lands in the code range, which bumps the
+//     bus's code-generation counter -- CASU-enforced devices never
+//     do. SessionOptions.engine selects kInterpretive, kPredecoded or
+//     kSuperblock (the default) per session; traces, final state and
+//     CFA evidence are bit-identical across all three (the bench and
+//     tests/test_superblock.cpp gate it),
 //   - a device registry provisioning N DeviceSessions from cached
 //     builds, each wired per its EnforcementPolicy,
 //   - a VerifierService multiplexing attestation across sessions with
@@ -23,7 +29,7 @@
 //     build to the target via a MAC'd package diffed between the two
 //     images, keyed and versioned per device. A successful update
 //     atomically swaps the session onto the target build (shared
-//     predecoded table, symbols) and stages a replay-CFG swap with the
+//     decoded + block tables, symbols) and stages a replay-CFG swap with the
 //     verifier at the epoch marker the device logged, so pre-update
 //     evidence replays against the old CFG and post-update evidence
 //     against the new,

@@ -174,6 +174,7 @@ std::string_view quarantine_reason_name(QuarantineReason reason) {
     case QuarantineReason::kNone: return "none";
     case QuarantineReason::kStale: return "stale";
     case QuarantineReason::kConvicted: return "convicted";
+    case QuarantineReason::kEscalated: return "escalated";
   }
   return "?";
 }
@@ -274,11 +275,20 @@ HealthReport HealthMonitor::run(Tick deadline, common::ThreadPool* pool) {
     }
     for (auto it = quarantine_.begin(); it != quarantine_.end();) {
       if (watched.count(it->first) == 0) {
+        heal_attempts_.erase(it->first);
         it = quarantine_.erase(it);
       } else {
         ++it;
       }
     }
+    for (auto it = heal_attempts_.begin(); it != heal_attempts_.end();) {
+      if (watched.count(it->first) == 0) {
+        it = heal_attempts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const uint32_t max_attempts = options_.policy.max_heal_attempts;
     for (const FreshnessRecord& record : records) {
       const QuarantineReason reason = assess(record, now, options_.policy);
       if (reason == QuarantineReason::kNone) continue;
@@ -287,12 +297,22 @@ HealthReport HealthMonitor::run(Tick deadline, common::ThreadPool* pool) {
       entry.device_id = record.device_id;
       entry.reason = reason;
       entry.since = now;
+      entry.remediation_attempts = heal_attempts_[record.device_id];
+      // A device re-entering quarantine with its lifetime attempt
+      // budget already spent escalates immediately: the previous heals
+      // did not stick, so another automated pass would too.
+      if (max_attempts != 0 && entry.remediation_attempts >= max_attempts) {
+        entry.reason = QuarantineReason::kEscalated;
+        report.escalated.push_back(entry);
+      }
       quarantine_.emplace(record.device_id, entry);
       report.newly_quarantined.push_back(std::move(entry));
     }
     if (remediation_.has_value()) {
       to_remediate.reserve(quarantine_.size());
       for (const auto& [id, entry] : quarantine_) {
+        // Terminal: escalated devices wait for the operator.
+        if (entry.reason == QuarantineReason::kEscalated) continue;
         to_remediate.push_back(entry);
       }
     }
@@ -314,18 +334,31 @@ HealthReport HealthMonitor::run(Tick deadline, common::ThreadPool* pool) {
       });
     }
     std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t max_attempts = options_.policy.max_heal_attempts;
     for (const RemediationOutcome& outcome : outcomes) {
       if (outcome.healed) {
         quarantine_.erase(outcome.device_id);
         scheduler_.note_remediated(outcome.device_id, now);
-      } else {
-        auto it = quarantine_.find(outcome.device_id);
-        if (it != quarantine_.end()) ++it->second.remediation_attempts;
+        continue;
+      }
+      const uint32_t attempts = ++heal_attempts_[outcome.device_id];
+      auto it = quarantine_.find(outcome.device_id);
+      if (it == quarantine_.end()) continue;
+      it->second.remediation_attempts = attempts;
+      if (max_attempts != 0 && attempts >= max_attempts) {
+        it->second.reason = QuarantineReason::kEscalated;
+        report.escalated.push_back(it->second);
       }
     }
     report.remediations = std::move(outcomes);
   }
 
+  // Escalations accrete from two places (budget-exhausted re-entry and
+  // the just-failed attempt); keep the report's sorted-by-id contract.
+  std::sort(report.escalated.begin(), report.escalated.end(),
+            [](const QuarantineEntry& a, const QuarantineEntry& b) {
+              return a.device_id < b.device_id;
+            });
   {
     std::lock_guard<std::mutex> lock(mu_);
     report.quarantined_after = quarantine_.size();

@@ -164,6 +164,13 @@ enum class QuarantineReason : uint8_t {
   kNone,       // healthy: fresh, clean evidence
   kStale,      // announcements stale or missing past the threshold
   kConvicted,  // most recent evidence convicted the device
+  // Terminal: automated remediation was tried max_heal_attempts times
+  // over the device's lifetime (across releases and re-quarantines) and
+  // the device still is not healthy. The monitor stops spending
+  // remediation passes on it; only operator action (decommission, or
+  // redeploying under a new id) clears the state. Never returned by
+  // assess() -- escalation is a monitor decision, not a freshness one.
+  kEscalated,
 };
 
 std::string_view quarantine_reason_name(QuarantineReason reason);
@@ -174,6 +181,13 @@ struct HealthPolicy {
   Tick staleness_threshold = 300;
   // Quarantine on a convicting verdict (not just on silence).
   bool quarantine_convicted = true;
+  // Lifetime cap on automated remediation attempts per device; once a
+  // device has burned this many failed attempts it escalates to the
+  // terminal kEscalated state instead of being remediated again. The
+  // count survives a successful heal, so a device stuck in a
+  // heal -> re-convict cycle cannot consume remediation passes forever.
+  // 0 means unbounded (the pre-escalation behavior).
+  uint32_t max_heal_attempts = 0;
 };
 
 // THE quarantine decision: a pure function of one freshness record, the
@@ -213,9 +227,13 @@ struct HealthReport {
   // quarantine are not re-reported).
   std::vector<QuarantineEntry> newly_quarantined;
   // One attempt per quarantined device this pass (remediation staged
-  // only), sorted by id.
+  // only; escalated devices get none), sorted by id.
   std::vector<RemediationOutcome> remediations;
+  // Devices that crossed max_heal_attempts this pass and became
+  // terminal (entries carry reason == kEscalated), sorted by id.
+  std::vector<QuarantineEntry> escalated;
   size_t quarantined_after = 0;  // quarantine population at return
+                                 // (escalated devices included)
 
   bool operator==(const HealthReport&) const = default;
 };
@@ -253,8 +271,14 @@ class HealthMonitor {
   Fleet* fleet_;
   HealthOptions options_;
   HeartbeatScheduler scheduler_;
-  mutable std::mutex mu_;  // guards quarantine_
+  mutable std::mutex mu_;  // guards quarantine_ and heal_attempts_
   std::map<std::string, QuarantineEntry> quarantine_;
+  // Lifetime failed-remediation count per device id. Deliberately NOT
+  // erased when a device heals and leaves quarantine_ -- the
+  // max_heal_attempts budget is per device lifetime, which is what
+  // breaks the heal -> re-convict forever-loop. Pruned only when the
+  // scheduler stops watching the id (decommission).
+  std::map<std::string, uint32_t> heal_attempts_;
   std::optional<UpdateCampaign> remediation_;
 };
 

@@ -63,6 +63,15 @@ std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
       std::span<const isa::DecodedImage::Range>(ranges, 2));
 }
 
+// Build both shared execution tables: the decoded image and the
+// superblock table derived from it. Done once per build; every device
+// flashed with this build shares the same two immutable tables.
+void attach_images(BuildResult& result) {
+  result.decoded_image = predecode(result);
+  result.block_image =
+      std::make_shared<const isa::BlockImage>(*result.decoded_image);
+}
+
 }  // namespace
 
 BuildResult build_app(const std::string& source, const std::string& name,
@@ -73,7 +82,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
   if (!options.eilid) {
     result.app = masm::assemble(original, name);
     result.iterations.push_back({original.size(), result.app.image.size_bytes()});
-    result.decoded_image = predecode(result);
+    attach_images(result);
     return result;
   }
 
@@ -95,7 +104,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
     result.app = masm::assemble(ir.lines, name);
     result.report = std::move(ir);
     result.iterations.push_back({original.size(), result.app.image.size_bytes()});
-    result.decoded_image = predecode(result);
+    attach_images(result);
     return result;
   }
 
@@ -127,7 +136,7 @@ BuildResult build_app(const std::string& source, const std::string& name,
 
   result.app = std::move(build3);
   result.report = std::move(inst3);
-  result.decoded_image = predecode(result);
+  attach_images(result);
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "casu/update.h"
 #include "eilid/instrumenter.h"
 #include "eilid/rom_builder.h"
+#include "isa/block_image.h"
 #include "isa/decoded_image.h"
 #include "masm/assembler.h"
 
@@ -51,6 +52,12 @@ struct BuildResult {
   // isa::DecodedImage / Machine::attach_decoded_image for the
   // invalidation rule.
   std::shared_ptr<const isa::DecodedImage> decoded_image;
+  // Superblock table derived from the decoded image: per-PC straight-
+  // line run lengths with pre-summed cycles and terminator kinds, for
+  // block-granular dispatch (see isa::BlockImage and
+  // Machine::attach_block_image). Shares the decoded image's
+  // fleet-wide build-once lifetime and invalidation rule.
+  std::shared_ptr<const isa::BlockImage> block_image;
 
   size_t binary_size() const { return app.image.size_bytes(); }
 };

@@ -19,6 +19,15 @@ std::string_view enforcement_policy_name(EnforcementPolicy policy) {
   return "?";
 }
 
+std::string_view execution_engine_name(ExecutionEngine engine) {
+  switch (engine) {
+    case ExecutionEngine::kInterpretive: return "interpretive";
+    case ExecutionEngine::kPredecoded: return "predecoded";
+    case ExecutionEngine::kSuperblock: return "superblock";
+  }
+  return "?";
+}
+
 namespace {
 
 core::EilidHwConfig hw_config_for(const core::BuildResult& build) {
@@ -89,13 +98,22 @@ DeviceSession::DeviceSession(std::string device_id,
       machine_.load(chunk.base, chunk.data);
     }
   }
-  // Attach the build's shared predecoded image *after* the loads (the
+  // Attach the build's shared execution tables *after* the loads (the
   // attachment snapshots the bus's code generation, so it must see the
-  // flashed state). Every session of this build shares one table.
-  if (options_.predecode && build_->decoded_image != nullptr) {
+  // flashed state). Every session of this build shares the same tables.
+  attach_engine_tables();
+  machine_.power_on();
+}
+
+void DeviceSession::attach_engine_tables() {
+  if (options_.engine == ExecutionEngine::kInterpretive) return;
+  if (build_->decoded_image != nullptr) {
     machine_.attach_decoded_image(build_->decoded_image);
   }
-  machine_.power_on();
+  if (options_.engine == ExecutionEngine::kSuperblock &&
+      build_->block_image != nullptr) {
+    machine_.attach_block_image(build_->block_image);
+  }
 }
 
 uint16_t DeviceSession::symbol(const std::string& name) const {
@@ -132,11 +150,9 @@ void DeviceSession::adopt_build(std::shared_ptr<const core::BuildResult> next) {
   build_ = std::move(next);
   // The update's stores bumped the bus code generation, so the CPU is
   // running interpretively right now; attaching the new build's shared
-  // table re-snapshots the generation and restores predecoded
-  // execution -- against a table that matches the new bytes.
-  if (options_.predecode && build_->decoded_image != nullptr) {
-    machine_.attach_decoded_image(build_->decoded_image);
-  }
+  // tables re-snapshots the generation and restores the session's
+  // configured engine -- against tables that match the new bytes.
+  attach_engine_tables();
 }
 
 std::string DeviceSession::last_reset_reason() const {
@@ -163,9 +179,7 @@ void DeviceSession::reflash() {
                   std::span<const uint8_t>(flat.data() + first,
                                            last - first + 1));
   }
-  if (options_.predecode && build_->decoded_image != nullptr) {
-    machine_.attach_decoded_image(build_->decoded_image);
-  }
+  attach_engine_tables();
   power_cycle();
 }
 

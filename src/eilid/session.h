@@ -36,6 +36,33 @@ enum class EnforcementPolicy : uint8_t {
 
 std::string_view enforcement_policy_name(EnforcementPolicy policy);
 
+// Which simulator core drives the device. All three engines are
+// architecturally identical -- retired-instruction traces, cycle
+// counts, CFA edge logs and MACs, and enforcement verdicts match
+// bit-for-bit -- and differ only in dispatch granularity:
+//   kInterpretive -- decode every instruction from backing memory
+//     (the original core; the always-correct fallback every other
+//     engine degrades to when its tables go stale),
+//   kPredecoded   -- per-instruction dispatch from the build's shared
+//     decoded table (PR 3),
+//   kSuperblock   -- block-granular dispatch from the build's shared
+//     superblock table: one bounds/generation check and one batched
+//     cycle/tick account per straight-line run, with interrupt
+//     delivery re-checked at block boundaries (a mid-block IRQ horizon
+//     refuses the block, so delivery still lands at the architecturally
+//     correct instruction).
+// Any store at or above the code floor invalidates the shared tables
+// (Bus::code_generation) and drops the device to interpretive decode
+// until a fresh table is attached -- the self-modifying-code rule that
+// has held since the decoded table landed.
+enum class ExecutionEngine : uint8_t {
+  kInterpretive,
+  kPredecoded,
+  kSuperblock,
+};
+
+std::string_view execution_engine_name(ExecutionEngine engine);
+
 struct SessionOptions {
   double clock_hz = 8e6;
   bool halt_on_reset = false;  // stop run() at the first enforcement reset
@@ -47,11 +74,10 @@ struct SessionOptions {
   // protocol authenticates against). Fleet derives it from its master
   // key; standalone sessions may set it directly.
   crypto::Digest update_key{};
-  // Consult the build's shared predecoded image in the simulator hot
-  // loop (false forces pure interpretive decode -- the pre-predecode
-  // core, kept for A/B benchmarking and coherence tests; retired
-  // instruction traces and verdicts are identical either way).
-  bool predecode = true;
+  // Simulator core selection (see ExecutionEngine): which of the
+  // build's shared tables the session attaches. Every differential
+  // gate in the benches compares all three as a three-way oracle.
+  ExecutionEngine engine = ExecutionEngine::kSuperblock;
 };
 
 class DeviceSession {
@@ -159,6 +185,13 @@ class DeviceSession {
   std::mutex& mutex() const { return mu_; }
 
  private:
+  // (Re-)attach the build's shared execution tables per options_.engine
+  // -- decoded image for kPredecoded, decoded + superblock tables for
+  // kSuperblock, neither for kInterpretive. Must run after every flash
+  // of the code regions (construction, adopt_build, reflash): the
+  // attachment snapshots the bus code generation.
+  void attach_engine_tables();
+
   std::string id_;
   mutable std::mutex mu_;
   std::shared_ptr<const core::BuildResult> build_;

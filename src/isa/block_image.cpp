@@ -1,0 +1,98 @@
+#include "isa/block_image.h"
+
+#include "isa/registers.h"
+
+namespace eilid::isa {
+
+bool writes_status_register(const Instruction& insn) {
+  const OpcodeInfo& info = opcode_info(insn.op);
+  switch (info.format) {
+    case Format::kJump:
+      return false;
+    case Format::kDouble:
+      return insn.dst.mode == AddrMode::kRegister && insn.dst.reg == kSR;
+    case Format::kSingle:
+      // rrc/rra/swpb/sxt with SR as the read-modify-write operand.
+      // push reads only; call/reti are control transfers.
+      return insn.op != Opcode::kPush && insn.op != Opcode::kCall &&
+             insn.op != Opcode::kReti &&
+             insn.src.mode == AddrMode::kRegister && insn.src.reg == kSR;
+  }
+  return false;
+}
+
+BlockImage::BlockImage(const DecodedImage& decoded) {
+  const auto views = decoded.range_views();
+  tables_.reserve(views.size());
+  for (const DecodedImage::RangeView& view : views) {
+    RangeTable table;
+    table.first = view.first;
+    table.last = view.last;
+    table.entries.resize(view.entries.size());
+    // Backward pass: each slot's run is its own instruction plus the
+    // run of its fall-through slot, unless the instruction is itself a
+    // hazard or the fall-through leaves the range/table.
+    for (size_t i = view.entries.size(); i-- > 0;) {
+      const DecodedImage::Entry& de = view.entries[i];
+      Entry& be = table.entries[i];
+      if (de.size_words == 0) continue;  // span stays 0: undecodable slot
+      be.span = 1;
+      be.cycles = de.cycles;
+      if (de.control_transfer) {
+        be.end = BlockEnd::kTransfer;
+        const OpcodeInfo& info = opcode_info(de.insn.op);
+        if (info.format == Format::kJump) {
+          Decoded d{de.insn, static_cast<uint16_t>(view.first + 2 * i),
+                    de.size_words};
+          be.target = d.jump_target();
+        } else if (de.insn.op == Opcode::kCall &&
+                   de.insn.src.mode == AddrMode::kImmediate) {
+          be.target = static_cast<uint16_t>(de.insn.src.value) & 0xFFFE;
+        }
+        continue;
+      }
+      if (writes_status_register(de.insn)) {
+        be.end = BlockEnd::kSrWrite;
+        continue;
+      }
+      const uint32_t next =
+          static_cast<uint32_t>(view.first + 2 * i) + 2u * de.size_words;
+      if (next > view.last) {
+        be.end = BlockEnd::kRangeEnd;
+        continue;
+      }
+      const size_t next_i = i + de.size_words;
+      const Entry& succ = table.entries[next_i];
+      if (succ.span == 0) {
+        // kNone successor: its slot does not decode. Stop before it so
+        // the illegal trap fires from the per-instruction path.
+        be.end = BlockEnd::kLeadsIllegal;
+        continue;
+      }
+      be.span = static_cast<uint16_t>(1 + succ.span);
+      be.cycles = static_cast<uint16_t>(de.cycles + succ.cycles);
+      be.target = succ.target;
+      be.end = succ.end;
+      if (be.span > max_span_) max_span_ = be.span;
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+size_t BlockImage::slot_count() const {
+  size_t n = 0;
+  for (const RangeTable& t : tables_) n += t.entries.size();
+  return n;
+}
+
+std::vector<BlockImage::RangeView> BlockImage::range_views() const {
+  std::vector<RangeView> views;
+  views.reserve(tables_.size());
+  for (const RangeTable& t : tables_) {
+    views.push_back({t.first, t.last,
+                     std::span<const Entry>(t.entries.data(), t.entries.size())});
+  }
+  return views;
+}
+
+}  // namespace eilid::isa

@@ -1,0 +1,120 @@
+// Superblock view of a predecoded image: for every PC the predecoded
+// ranges cover, the straight-line run (basic block) that starts there
+// -- instruction span, total cycles, and how the run terminates. Built
+// once per build from the shared isa::DecodedImage and shared read-only
+// by every simulated device flashed with that image, exactly like the
+// decoded table itself.
+//
+// Representation: a per-PC *suffix table* rather than a leader-keyed
+// block list. Every even address is a valid block entry whose run
+// extends to the first hazard at or after it (control transfer, SR
+// write, range end, undecodable slot). This subsumes the CFG's block
+// leaders -- a jump or indirect branch into the *middle* of some other
+// entry's run simply dispatches the suffix starting at the landing PC,
+// so block splitting needs no runtime bookkeeping and no CFG lookup
+// (the CFG, extracted per build for the verifier, identifies a subset
+// of these entries; the suffix form is closed over every PC the
+// hardware could ever reach, including ones static analysis never
+// names).
+//
+// Hazards that end a block (BlockEnd):
+//   - kTransfer: the terminator may set PC non-sequentially (jumps,
+//     call/reti, PC-destination ALU ops). Executed as part of the
+//     block; the machine re-dispatches from wherever PC landed.
+//   - kSrWrite: the terminator writes the status register, so GIE or
+//     CPUOFF may flip mid-run; the machine must re-check interrupt
+//     deliverability before the next instruction.
+//   - kRangeEnd: the run hit the end of a predecoded range (top of the
+//     secure ROM, top of memory). Execution falls through into
+//     territory the table does not cover; the per-instruction core
+//     takes over there.
+//   - kLeadsIllegal: the next slot does not decode. The block stops
+//     *before* it so the illegal-instruction trap is raised by the
+//     per-instruction path with exactly the interpretive semantics.
+//   - kNone (span == 0): this PC itself does not decode.
+#ifndef EILID_ISA_BLOCK_IMAGE_H
+#define EILID_ISA_BLOCK_IMAGE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/decoded_image.h"
+
+namespace eilid::isa {
+
+// True when executing `insn` can change the status register as a side
+// effect visible to the interrupt logic: any register-mode write whose
+// destination is SR (mov/bis/bic/... to r2, single-op RMW on r2).
+// Flag updates from ALU ops do not count -- C/Z/N/V cannot mask an
+// interrupt; GIE and CPUOFF can only be set through an SR-destination
+// write (or reti, which is a control transfer already).
+bool writes_status_register(const Instruction& insn);
+
+enum class BlockEnd : uint8_t {
+  kNone,          // entry PC does not decode (span == 0)
+  kTransfer,      // control-transfer terminator
+  kSrWrite,       // status-register-writing terminator
+  kRangeEnd,      // predecoded range ends after the terminator
+  kLeadsIllegal,  // the slot after the terminator does not decode
+};
+
+class BlockImage {
+ public:
+  struct Entry {
+    uint16_t span = 0;    // instructions from this PC through the terminator
+    uint16_t cycles = 0;  // summed isa::instruction_cycles over the span
+    // Static branch target of a kTransfer terminator: the jump target
+    // for jump-format instructions, the immediate callee for
+    // `call #addr`; 0 for indirect transfers (and for every other
+    // terminator kind, whose successor is the fall-through).
+    uint16_t target = 0;
+    BlockEnd end = BlockEnd::kNone;
+  };
+
+  // Built from the decoded table in one backward pass per range; the
+  // ranges mirror the decoded image's exactly.
+  explicit BlockImage(const DecodedImage& decoded);
+
+  // Entry for the block starting at `pc`, or nullptr outside every
+  // predecoded range. A non-null entry with span == 0 means the bytes
+  // at pc do not decode.
+  const Entry* lookup(uint16_t pc) const {
+    for (const RangeTable& t : tables_) {
+      if (pc >= t.first && pc <= t.last) {
+        return &t.entries[static_cast<size_t>(pc - t.first) >> 1];
+      }
+    }
+    return nullptr;
+  }
+
+  // Total predecoded slots across all ranges.
+  size_t slot_count() const;
+  // Longest run in the table (stats / sizing the IRQ cycle budget).
+  size_t max_span() const { return max_span_; }
+
+  // Contiguous per-range views, index-aligned with the decoded image's
+  // range_views() (both tables have one slot per even address over
+  // identical ranges). The CPU zips the two at attach time so block
+  // dispatch pays a single range scan per block.
+  struct RangeView {
+    uint16_t first;
+    uint16_t last;
+    std::span<const Entry> entries;
+  };
+  std::vector<RangeView> range_views() const;
+
+ private:
+  struct RangeTable {
+    uint16_t first;
+    uint16_t last;
+    std::vector<Entry> entries;  // one per even address in [first, last]
+  };
+
+  std::vector<RangeTable> tables_;
+  size_t max_span_ = 0;
+};
+
+}  // namespace eilid::isa
+
+#endif  // EILID_ISA_BLOCK_IMAGE_H

@@ -48,6 +48,7 @@ DecodedImage::DecodedImage(std::span<const uint8_t> memory,
       entry.next_address = decoded->next_address();
       entry.size_words = decoded->size_words;
       entry.cycles = static_cast<uint8_t>(instruction_cycles(decoded->insn));
+      entry.format = opcode_info(decoded->insn.op).format;
       entry.control_transfer = is_control_transfer(decoded->insn);
       ++decoded_count_;
     }
@@ -59,6 +60,15 @@ size_t DecodedImage::slot_count() const {
   size_t n = 0;
   for (const RangeTable& t : tables_) n += t.entries.size();
   return n;
+}
+
+std::vector<DecodedImage::RangeView> DecodedImage::range_views() const {
+  std::vector<RangeView> views;
+  views.reserve(tables_.size());
+  for (const RangeTable& t : tables_) {
+    views.push_back({t.first, t.last, std::span<const Entry>(t.entries)});
+  }
+  return views;
 }
 
 }  // namespace eilid::isa

@@ -33,6 +33,7 @@ class DecodedImage {
     uint8_t size_words = 0;     // 0: bytes at this pc are not a legal
                                 // instruction (authoritative illegal)
     uint8_t cycles = 0;         // isa::instruction_cycles(insn)
+    Format format = Format::kDouble;  // opcode_info(insn.op).format
     bool control_transfer = false;
   };
 
@@ -67,6 +68,16 @@ class DecodedImage {
   size_t decoded_count() const { return decoded_count_; }
   // Total predecoded slots across all ranges.
   size_t slot_count() const;
+
+  // Read-only view of one range's contiguous entry array (entry i is
+  // the slot at address first + 2*i). Derived tables -- the superblock
+  // suffix table -- are built from these views instead of re-decoding.
+  struct RangeView {
+    uint16_t first;
+    uint16_t last;
+    std::span<const Entry> entries;
+  };
+  std::vector<RangeView> range_views() const;
 
  private:
   struct RangeTable {

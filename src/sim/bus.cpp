@@ -24,6 +24,7 @@ void Bus::add_peripheral(Peripheral* peripheral) {
     periph_map_[a] = peripheral;
   }
   irq_dirty_ = true;
+  horizon_dirty_ = true;
 }
 
 bool Bus::check_read(uint16_t addr, uint16_t pc) {
@@ -57,13 +58,19 @@ bool Bus::notify_fetch_slow(uint16_t pc) {
 }
 
 uint16_t Bus::periph_read_word(uint16_t addr) {
+  flush_ticks();  // the register must reflect all cycles retired so far
   irq_dirty_ = true;  // register reads can move irq state (rx consume)
+  horizon_dirty_ = true;
+  periph_touched_ = true;
   if (auto* p = peripheral_at(addr)) return p->read(addr);
   return 0;
 }
 
 uint8_t Bus::periph_read_byte(uint16_t addr) {
+  flush_ticks();
   irq_dirty_ = true;
+  horizon_dirty_ = true;
+  periph_touched_ = true;
   if (auto* p = peripheral_at(addr)) {
     uint16_t v = p->read(addr & 0xFFFE);
     return (addr & 1) ? static_cast<uint8_t>(v >> 8) : static_cast<uint8_t>(v);
@@ -72,7 +79,10 @@ uint8_t Bus::periph_read_byte(uint16_t addr) {
 }
 
 void Bus::periph_write(uint16_t addr, uint16_t value) {
+  flush_ticks();
   irq_dirty_ = true;  // register writes can enable/clear irq sources
+  horizon_dirty_ = true;
+  periph_touched_ = true;
   if (auto* p = peripheral_at(addr)) p->write(addr, value);
 }
 
@@ -99,6 +109,7 @@ int Bus::compute_pending_irq() const {
 
 void Bus::ack_irq(int line) {
   irq_dirty_ = true;
+  horizon_dirty_ = true;
   for (auto* p : peripherals_) {
     if (p->pending_irq() == line) {
       p->ack_irq();
@@ -109,6 +120,7 @@ void Bus::ack_irq(int line) {
 
 void Bus::reset_peripherals() {
   irq_dirty_ = true;
+  horizon_dirty_ = true;
   for (auto* p : peripherals_) p->reset();
 }
 

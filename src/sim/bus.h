@@ -46,6 +46,16 @@ class Peripheral {
   virtual int pending_irq() const { return -1; }
   virtual void ack_irq() {}
 
+  // No tick within this many cycles can assert this peripheral's
+  // interrupt line (kIrqNever: ticking alone can never assert it --
+  // only register access or host stimulus, which the superblock core
+  // already treats as block-ending events). The block dispatcher sums
+  // a block's cycles against this horizon so a timer firing mid-block
+  // drops execution to the per-instruction core, which delivers the
+  // IRQ at the architecturally exact instruction.
+  static constexpr uint64_t kIrqNever = ~0ull;
+  virtual uint64_t cycles_to_irq() const { return kIrqNever; }
+
   // Restore power-on state.
   virtual void reset() {}
 
@@ -162,11 +172,51 @@ class Bus {
 
   // --- Wiring. ---
   void add_watcher(BusWatcher* watcher) { watchers_.push_back(watcher); }
+  bool has_watchers() const { return !watchers_.empty(); }
   void add_peripheral(Peripheral* peripheral);
   void tick_peripherals(uint64_t cycles) {
     bool irq_moved = false;
     for (auto* p : peripherals_) irq_moved |= p->tick(cycles);
     if (irq_moved) irq_dirty_ = true;
+    horizon_dirty_ = true;  // time advanced; every horizon shrank
+  }
+
+  // --- Batched (superblock) peripheral time. ---
+  // The block core retires several instructions per dispatch and owes
+  // the peripherals their cycles only at observation points: accrue
+  // per retired instruction; the debt persists across blocks and is
+  // flushed wherever peripheral time becomes observable -- any CPU
+  // peripheral register access (see periph_read_*/periph_write), every
+  // IRQ-deliverability check, the per-step fallback, device reset, and
+  // run() exit. A mid-block register read therefore observes exactly
+  // the state the per-instruction core would have ticked it to: the
+  // debt at that point is precisely the cycles of every retired-but-
+  // unticked instruction before it.
+  void accrue_ticks(uint64_t cycles) { tick_debt_ += cycles; }
+  uint64_t tick_debt() const { return tick_debt_; }
+  void flush_ticks() {
+    if (tick_debt_ != 0) {
+      uint64_t debt = tick_debt_;
+      tick_debt_ = 0;
+      tick_peripherals(debt);
+    }
+  }
+  // Earliest cycle horizon at which ticking alone could assert a new
+  // interrupt line (min over peripherals; kIrqNever when none can),
+  // measured from the last tick flush. Cached: the block core consults
+  // it once per dispatch, so the virtual sweep only reruns after
+  // peripheral state or time actually moved.
+  uint64_t cycles_until_irq() const {
+    if (horizon_dirty_) {
+      uint64_t horizon = Peripheral::kIrqNever;
+      for (auto* p : peripherals_) {
+        uint64_t c = p->cycles_to_irq();
+        if (c < horizon) horizon = c;
+      }
+      horizon_cache_ = horizon;
+      horizon_dirty_ = false;
+    }
+    return horizon_cache_;
   }
   // Highest-priority asserted line, or -1. Cached: recomputed only
   // after something that can move an interrupt line (tick/ack/register
@@ -180,10 +230,20 @@ class Bus {
   }
   void ack_irq(int line);
   void reset_peripherals();
+  // True when any CPU access touched a peripheral register since the
+  // last clear. The block core ends a block at such an instruction: a
+  // register access can change interrupt state instantly (UART enable
+  // with buffered input), and the per-instruction core re-checks
+  // deliverability right after -- so must the block core.
+  bool periph_touched() const { return periph_touched_; }
+  void clear_periph_touched() { periph_touched_ = false; }
   // Force the next pending_irq() to recompute. Machine::run calls this
   // on entry so host-side stimulus injected between runs (Uart::feed
   // and friends bypass the bus) is observed immediately.
-  void invalidate_irq_cache() { irq_dirty_ = true; }
+  void invalidate_irq_cache() {
+    irq_dirty_ = true;
+    horizon_dirty_ = true;
+  }
 
   // Zero RAM and secure RAM (CASU reset wipes volatile state; PMEM and
   // ROM persist).
@@ -212,9 +272,13 @@ class Bus {
   std::vector<Peripheral*> peripherals_;
   std::array<Peripheral*, kPeriphEnd + 1> periph_map_{};
   bool access_denied_ = false;
+  bool periph_touched_ = false;
   uint64_t code_generation_ = 0;
+  uint64_t tick_debt_ = 0;
   mutable bool irq_dirty_ = true;
   mutable int irq_cache_ = -1;
+  mutable bool horizon_dirty_ = true;
+  mutable uint64_t horizon_cache_ = 0;
 };
 
 }  // namespace eilid::sim

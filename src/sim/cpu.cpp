@@ -27,6 +27,13 @@ void Cpu::set_flag(uint16_t bit, bool on) {
   }
 }
 
+void Cpu::set_nzcv(bool n, bool z, bool c, bool v) {
+  constexpr uint16_t kMask = sr::kN | sr::kZ | sr::kC | sr::kV;
+  regs_[isa::kSR] = static_cast<uint16_t>(
+      (regs_[isa::kSR] & static_cast<uint16_t>(~kMask)) | (n ? sr::kN : 0) |
+      (z ? sr::kZ : 0) | (c ? sr::kC : 0) | (v ? sr::kV : 0));
+}
+
 uint16_t Cpu::read_src(const Operand& op, bool byte) {
   const uint16_t mask = byte ? 0x00FF : 0xFFFF;
   switch (op.mode) {
@@ -121,12 +128,9 @@ uint16_t Cpu::add_and_flags(uint16_t a, uint16_t b, unsigned carry_in, bool byte
   const uint16_t msb = byte ? 0x0080 : 0x8000;
   uint32_t sum = static_cast<uint32_t>(a & mask) + (b & mask) + carry_in;
   uint16_t result = static_cast<uint16_t>(sum & mask);
-  set_flag(sr::kC, (sum >> width) != 0);
-  set_flag(sr::kZ, result == 0);
-  set_flag(sr::kN, (result & msb) != 0);
   // Signed overflow: both inputs same sign, result differs.
   bool v = ((~(a ^ b)) & (a ^ result) & msb) != 0;
-  set_flag(sr::kV, v);
+  set_nzcv((result & msb) != 0, result == 0, (sum >> width) != 0, v);
   return result;
 }
 
@@ -183,21 +187,15 @@ void Cpu::exec_double(const isa::Instruction& insn) {
         }
         result |= static_cast<uint16_t>(nibble << (4 * d));
       }
-      set_flag(sr::kC, carry != 0);
-      set_flag(sr::kZ, result == 0);
-      set_flag(sr::kN, (result & msb) != 0);
       // V is architecturally undefined after DADD; we clear it.
-      set_flag(sr::kV, false);
+      set_nzcv((result & msb) != 0, result == 0, carry != 0, false);
       write_at(dst_ref, byte, result);
       return;
     }
     case Opcode::kBit: {
       uint16_t dst = read_at(dst_ref, byte);
       uint16_t r = dst & src & mask;
-      set_flag(sr::kZ, r == 0);
-      set_flag(sr::kN, (r & msb) != 0);
-      set_flag(sr::kC, r != 0);
-      set_flag(sr::kV, false);
+      set_nzcv((r & msb) != 0, r == 0, r != 0, false);
       return;
     }
     case Opcode::kBic: {
@@ -213,20 +211,15 @@ void Cpu::exec_double(const isa::Instruction& insn) {
     case Opcode::kXor: {
       uint16_t dst = read_at(dst_ref, byte);
       uint16_t r = (dst ^ src) & mask;
-      set_flag(sr::kZ, r == 0);
-      set_flag(sr::kN, (r & msb) != 0);
-      set_flag(sr::kC, r != 0);
-      set_flag(sr::kV, ((dst & msb) != 0) && ((src & msb) != 0));
+      set_nzcv((r & msb) != 0, r == 0, r != 0,
+               ((dst & msb) != 0) && ((src & msb) != 0));
       write_at(dst_ref, byte, r);
       return;
     }
     case Opcode::kAnd: {
       uint16_t dst = read_at(dst_ref, byte);
       uint16_t r = dst & src & mask;
-      set_flag(sr::kZ, r == 0);
-      set_flag(sr::kN, (r & msb) != 0);
-      set_flag(sr::kC, r != 0);
-      set_flag(sr::kV, false);
+      set_nzcv((r & msb) != 0, r == 0, r != 0, false);
       write_at(dst_ref, byte, r);
       return;
     }
@@ -269,19 +262,13 @@ void Cpu::exec_single(const isa::Instruction& insn, uint16_t insn_pc) {
   switch (insn.op) {
     case Opcode::kRrc: {
       unsigned c_old = flag(sr::kC) ? 1 : 0;
-      set_flag(sr::kC, (v & 1) != 0);
       result = static_cast<uint16_t>((v >> 1) | (c_old ? msb : 0));
-      set_flag(sr::kZ, result == 0);
-      set_flag(sr::kN, (result & msb) != 0);
-      set_flag(sr::kV, false);
+      set_nzcv((result & msb) != 0, result == 0, (v & 1) != 0, false);
       break;
     }
     case Opcode::kRra: {
-      set_flag(sr::kC, (v & 1) != 0);
       result = static_cast<uint16_t>((v >> 1) | (v & msb));
-      set_flag(sr::kZ, result == 0);
-      set_flag(sr::kN, (result & msb) != 0);
-      set_flag(sr::kV, false);
+      set_nzcv((result & msb) != 0, result == 0, (v & 1) != 0, false);
       break;
     }
     case Opcode::kSwpb:
@@ -290,10 +277,7 @@ void Cpu::exec_single(const isa::Instruction& insn, uint16_t insn_pc) {
     case Opcode::kSxt: {
       result = (v & 0x80) ? static_cast<uint16_t>(v | 0xFF00)
                           : static_cast<uint16_t>(v & 0x00FF);
-      set_flag(sr::kZ, result == 0);
-      set_flag(sr::kN, (result & 0x8000) != 0);
-      set_flag(sr::kC, result != 0);
-      set_flag(sr::kV, false);
+      set_nzcv((result & 0x8000) != 0, result == 0, result != 0, false);
       break;
     }
     default:
@@ -404,6 +388,168 @@ StepOutcome Cpu::step() {
   if (bus_.access_denied()) {
     out.status = StepStatus::kDenied;
   }
+  return out;
+}
+
+void Cpu::rebuild_engine_ranges() {
+  engine_ranges_.clear();
+  if (blocks_ == nullptr || image_ == nullptr) return;
+  auto block_views = blocks_->range_views();
+  auto decoded_views = image_->range_views();
+  if (block_views.size() != decoded_views.size()) return;  // mismatched tables
+  for (size_t i = 0; i < block_views.size(); ++i) {
+    if (block_views[i].first != decoded_views[i].first ||
+        block_views[i].last != decoded_views[i].last) {
+      engine_ranges_.clear();
+      return;
+    }
+    engine_ranges_.push_back({block_views[i].first, block_views[i].last,
+                              block_views[i].entries.data(),
+                              decoded_views[i].entries.data()});
+  }
+}
+
+BlockRun Cpu::run_block(uint16_t breakpoint_pc, uint64_t cycle_budget,
+                        bool chain) {
+  BlockRun out;
+  // One validity check for the whole run, where step() pays one per
+  // instruction: the block table shares the decoded image's snapshot
+  // rule, so a single generation compare covers both.
+  if (engine_ranges_.empty() || bus_.code_generation() != image_generation_) {
+    return out;
+  }
+  uint16_t pc = regs_[isa::kPC];
+  const isa::BlockImage::Entry* block = nullptr;
+  const isa::DecodedImage::Entry* entry = nullptr;
+  for (const EngineRange& r : engine_ranges_) {
+    if (pc >= r.first && pc <= r.last) {
+      const size_t slot = static_cast<size_t>(pc - r.first) >> 1;
+      block = r.blocks + slot;
+      entry = r.decoded + slot;
+      break;
+    }
+  }
+  if (block == nullptr || block->span == 0) return out;
+  // Interrupt horizon: if a tick-driven source could assert within this
+  // block's cycle count, an enabled CPU must take it at the exact
+  // instruction boundary the interpretive engine would -- refuse and
+  // let step_once walk up to it. The horizon is measured from the last
+  // tick flush, so outstanding debt counts against it. (All other IRQ
+  // movement comes from peripheral register access, which ends the run
+  // below.)
+  if (gie() &&
+      bus_.cycles_until_irq() <= block->cycles + bus_.tick_debt()) {
+    return out;
+  }
+
+  out.executed = true;
+  ++blocks_executed_;
+  const bool watched = bus_.has_watchers();
+  // Watchers need their denial handled block-by-block, and any monitor
+  // needing a transfer callout already cleared `chain` in the machine.
+  chain = chain && !watched;
+  bus_.clear_access_denied();
+  bus_.clear_periph_touched();
+  const uint64_t generation = bus_.code_generation();
+
+  uint64_t spent = 0;
+  unsigned steps = 0;
+  // Kept in locals across the loop (the out-struct stores happen once
+  // at exit); both always describe the final instruction attempted.
+  uint16_t last_pc = pc;
+  uint16_t last_next = entry->next_address;
+  uint16_t remaining = block->span;
+  for (;;) {
+    cur_pc_ = pc;
+    if (watched && !bus_.notify_fetch(pc)) {
+      // Same contract as step(): nothing retires, no cycles, monitors
+      // get the fall-through of the instruction that would have run.
+      out.status = StepStatus::kDenied;
+      last_pc = pc;
+      last_next = entry->next_address;
+      break;
+    }
+    regs_[isa::kPC] = entry->next_address;
+    switch (entry->format) {
+      case isa::Format::kDouble:
+        exec_double(entry->insn);
+        break;
+      case isa::Format::kSingle:
+        exec_single(entry->insn, pc);
+        break;
+      case isa::Format::kJump: {
+        isa::Decoded decoded;
+        decoded.insn = entry->insn;
+        decoded.address = pc;
+        decoded.size_words = entry->size_words;
+        exec_jump(decoded);
+        break;
+      }
+    }
+    // Accrue after exec: a peripheral access *inside* this instruction
+    // observes the debt of prior instructions only, exactly the state
+    // per-step ticking (which ticks after each full instruction) shows.
+    spent += entry->cycles;
+    bus_.accrue_ticks(entry->cycles);
+    ++instructions_retired_;
+    ++steps;
+    last_pc = pc;
+    last_next = entry->next_address;
+    if (watched && bus_.access_denied()) {
+      out.status = StepStatus::kDenied;  // retired, then denied mid-exec
+      break;
+    }
+    if (--remaining == 0) {
+      // Terminator retired; PC is wherever it put it. Without chaining
+      // the machine takes over (monitor callout, IRQ dispatch). With it
+      // we re-dispatch here, after the same checks a fresh dispatch
+      // would make -- reti/SR-restoring terminators may have flipped
+      // GIE or CPUOFF, so both are re-read from the live SR.
+      if (!chain) break;
+      if (bus_.code_generation() != generation) break;
+      if (bus_.periph_touched()) break;
+      if (spent >= cycle_budget) break;
+      pc = regs_[isa::kPC];
+      if (pc == breakpoint_pc) break;
+      if (cpu_off()) break;
+      block = nullptr;
+      for (const EngineRange& r : engine_ranges_) {
+        if (pc >= r.first && pc <= r.last) {
+          const size_t slot = static_cast<size_t>(pc - r.first) >> 1;
+          block = r.blocks + slot;
+          entry = r.decoded + slot;
+          break;
+        }
+      }
+      if (block == nullptr || block->span == 0) break;
+      if (gie() &&
+          bus_.cycles_until_irq() <= block->cycles + bus_.tick_debt()) {
+        break;
+      }
+      ++blocks_executed_;
+      remaining = block->span;
+      continue;
+    }
+    // Interior instructions are sequential by construction (no control
+    // transfer, no PC write), so the next pc is the fall-through and
+    // the next decoded entry sits size_words slots ahead in the table.
+    pc = entry->next_address;
+    entry += entry->size_words;
+    if (bus_.code_generation() != generation) break;  // self-modifying store
+    if (bus_.periph_touched()) break;  // IRQ state may have moved
+    if (pc == breakpoint_pc) break;    // host breakpoint pauses before it
+    if (spent >= cycle_budget) break;  // run() budget exhausted
+  }
+  out.cycles = spent;
+  out.steps = steps;
+  out.last_pc = last_pc;
+  out.last_next = last_next;
+  decode_cache_hits_ += steps;
+  // Tick debt deliberately stays accrued across blocks: the machine
+  // flushes it at every point peripheral time becomes observable
+  // (register access, IRQ-deliverability checks, per-step fallback,
+  // reset, run exit), so back-to-back blocks pay zero virtual tick
+  // calls in between.
   return out;
 }
 

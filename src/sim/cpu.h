@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "isa/block_image.h"
 #include "isa/decoded_image.h"
 #include "isa/decoder.h"
 #include "isa/registers.h"
@@ -35,6 +37,20 @@ struct StepOutcome {
   uint16_t next_pc = 0;
 };
 
+// Result of one superblock dispatch (Cpu::run_block).
+struct BlockRun {
+  // False when the fast path was unavailable (no valid block table at
+  // the current PC, an IRQ could assert or deliver mid-block, a
+  // violation already latched): nothing executed, the caller must take
+  // the per-instruction path. All other fields are meaningless.
+  bool executed = false;
+  StepStatus status = StepStatus::kOk;
+  uint64_t cycles = 0;  // total cycles retired by the run
+  unsigned steps = 0;   // instructions retired
+  uint16_t last_pc = 0;  // pc of the final instruction attempted
+  uint16_t last_next = 0;  // its fall-through (monitor notification)
+};
+
 class Cpu {
  public:
   explicit Cpu(Bus& bus) : bus_(bus) {}
@@ -44,6 +60,39 @@ class Cpu {
 
   // Execute a single instruction.
   StepOutcome step();
+
+  // Execute one straight-line run (superblock) starting at the current
+  // PC: one table lookup and one generation/IRQ-budget check up front,
+  // then a tight retire loop with batched cycle accounting (cycles are
+  // accrued to the bus's tick debt and flushed at block exit, so any
+  // mid-block peripheral register access still observes exact time).
+  // The run ends early -- always at an instruction boundary, and every
+  // PC is itself a valid block entry, so nothing is lost -- when:
+  //   - the next instruction sits at `breakpoint_pc` (host breakpoint),
+  //   - retired cycles reach `cycle_budget` (run() budget exhaustion),
+  //   - a store invalidated the code generation (self-modifying code:
+  //     the very next instruction must re-decode from memory),
+  //   - a peripheral register was touched (interrupt state may have
+  //     changed instantly),
+  //   - a watcher denied an access (status kDenied, device will reset).
+  // With `chain` set (the machine passes it when no monitor needs a
+  //  per-transfer callout) and no bus watchers attached, the run keeps
+  //  going across block boundaries: after a terminator retires it
+  //  re-dispatches from wherever PC landed, re-checking the same
+  //  refusal conditions (generation, peripheral touch, CPUOFF, IRQ
+  //  horizon, breakpoint, budget) that gate a fresh dispatch.
+  BlockRun run_block(uint16_t breakpoint_pc, uint64_t cycle_budget, bool chain);
+
+  // Attach the build's shared superblock table. Must be called AFTER
+  // set_decoded_image with tables built from the same flashed bytes
+  // (set_decoded_image drops any previously attached block table to
+  // enforce the ordering). Null detaches and disables block dispatch.
+  void set_block_image(std::shared_ptr<const isa::BlockImage> blocks) {
+    blocks_ = std::move(blocks);
+    rebuild_engine_ranges();
+  }
+  const isa::BlockImage* block_image() const { return blocks_.get(); }
+  uint64_t blocks_executed() const { return blocks_executed_; }
 
   // Attach a predecoded image built from the bytes currently flashed.
   // The CPU consults it for PCs inside its ranges and falls back to
@@ -55,6 +104,11 @@ class Cpu {
   void set_decoded_image(std::shared_ptr<const isa::DecodedImage> image) {
     image_ = std::move(image);
     image_generation_ = bus_.code_generation();
+    // A block table derived from some earlier decode snapshot must not
+    // pair with this image; the caller re-attaches a matching one next
+    // (see Machine::attach_block_image) or runs without block dispatch.
+    blocks_.reset();
+    rebuild_engine_ranges();
   }
   const isa::DecodedImage* decoded_image() const { return image_.get(); }
   bool decode_cache_valid() const {
@@ -99,7 +153,22 @@ class Cpu {
   void exec_single(const isa::Instruction& insn, uint16_t insn_pc);
   void exec_jump(const isa::Decoded& decoded);
 
+  // Zip of the block and decoded tables' identical ranges, so block
+  // dispatch resolves both entries with one range scan. Empty unless
+  // both tables are attached and their ranges align.
+  struct EngineRange {
+    uint16_t first;
+    uint16_t last;
+    const isa::BlockImage::Entry* blocks;
+    const isa::DecodedImage::Entry* decoded;
+  };
+  void rebuild_engine_ranges();
+
   void set_flag(uint16_t bit, bool on);
+  // Replace all four status bits in one SR update (every ALU op writes
+  // all four; doing it as four read-modify-writes was measurable in
+  // the block-dispatch hot loop).
+  void set_nzcv(bool n, bool z, bool c, bool v);
   bool flag(uint16_t bit) const { return (sr() & bit) != 0; }
   // Flag helper for add-with-carry style ops (sub is add of ~src).
   uint16_t add_and_flags(uint16_t a, uint16_t b, unsigned carry_in, bool byte);
@@ -109,9 +178,12 @@ class Cpu {
   uint16_t cur_pc_ = 0;  // pc of the executing instruction (bus attribution)
   uint64_t instructions_retired_ = 0;
   std::shared_ptr<const isa::DecodedImage> image_;
+  std::shared_ptr<const isa::BlockImage> blocks_;
+  std::vector<EngineRange> engine_ranges_;
   uint64_t image_generation_ = 0;
   uint64_t decode_cache_hits_ = 0;
   uint64_t decode_cache_misses_ = 0;
+  uint64_t blocks_executed_ = 0;
 };
 
 }  // namespace eilid::sim

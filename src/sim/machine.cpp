@@ -19,6 +19,13 @@ Machine::Machine(double clock_hz)
 void Machine::add_monitor(Monitor* monitor) {
   monitors_.push_back(monitor);
   bus_.add_watcher(monitor);
+  // Tracers and other per-step consumers can attach mid-life (the
+  // bench bolts a trace fingerprint onto an already-deployed device);
+  // recompute the step subset so block dispatch stands down for them.
+  step_monitors_.clear();
+  for (auto* m : monitors_) {
+    if (m->wants_step()) step_monitors_.push_back(m);
+  }
 }
 
 void Machine::load(uint16_t addr, std::span<const uint8_t> bytes) {
@@ -28,6 +35,11 @@ void Machine::load(uint16_t addr, std::span<const uint8_t> bytes) {
 void Machine::attach_decoded_image(
     std::shared_ptr<const isa::DecodedImage> image) {
   cpu_.set_decoded_image(std::move(image));
+}
+
+void Machine::attach_block_image(
+    std::shared_ptr<const isa::BlockImage> blocks) {
+  cpu_.set_block_image(std::move(blocks));
 }
 
 void Machine::power_on() {
@@ -51,6 +63,8 @@ std::optional<ResetReason> Machine::first_pending_violation() const {
 }
 
 void Machine::do_reset(ResetReason reason, uint16_t pc) {
+  // Pre-violation time already passed; deliver it before the wipe.
+  bus_.flush_ticks();
   resets_.push_back({cycles_, pc, reason});
   bus_.wipe_volatile();
   bus_.reset_peripherals();
@@ -66,6 +80,9 @@ void Machine::do_reset(ResetReason reason, uint16_t pc) {
 
 bool Machine::step_once() {
   reset_this_step_ = false;
+  // Settle any tick debt left by preceding superblocks: the IRQ check
+  // below and this step's own tick must observe exact peripheral time.
+  bus_.flush_ticks();
 
   // Interrupt dispatch (level-triggered, priority = vector index).
   int line = bus_.pending_irq();
@@ -95,7 +112,7 @@ bool Machine::step_once() {
   StepOutcome outcome = cpu_.step();
   cycles_ += outcome.cycles;
   bus_.tick_peripherals(outcome.cycles);
-  for (auto* m : monitors_) m->on_step(outcome.pc, cpu_.pc(), outcome.next_pc);
+  notify_retire(outcome.pc, cpu_.pc(), outcome.next_pc);
 
   if (outcome.status == StepStatus::kIllegal) {
     do_reset(ResetReason::kIllegalInstruction, outcome.pc);
@@ -114,6 +131,57 @@ bool Machine::step_once() {
   return true;
 }
 
+void Machine::notify_retire(uint16_t from_pc, uint16_t to_pc,
+                            uint16_t fallthrough) {
+  for (auto* m : step_monitors_) m->on_step(from_pc, to_pc, fallthrough);
+  if (to_pc != fallthrough) {
+    // Non-sequential transfer (or a faulted fetch, where to == from !=
+    // fallthrough). Fires under every engine: interior instructions of
+    // a superblock are sequential by construction, so only its final
+    // instruction can reach here -- the same edges per-step execution
+    // reports.
+    for (auto* m : monitors_) m->on_control_transfer(from_pc, to_pc, fallthrough);
+  }
+}
+
+bool Machine::try_run_block(uint16_t breakpoint_pc, uint64_t cycle_budget) {
+  if (!step_monitors_.empty()) return false;
+  if (cpu_.cpu_off()) return false;
+  // A deliverable (or monitor-deferred) pending interrupt must go
+  // through step_once's dispatch logic before any instruction retires.
+  // Outstanding tick debt could be hiding one -- but only if it reaches
+  // the tick-assertion horizon; below it, the cached pending state is
+  // authoritative and the flush (a virtual sweep of every peripheral)
+  // can wait for a real observation point.
+  if (cpu_.gie()) {
+    if (bus_.tick_debt() >= bus_.cycles_until_irq()) bus_.flush_ticks();
+    if (bus_.pending_irq() >= 0) return false;
+  }
+  // Violations latched outside stepping (update-engine auth failures /
+  // rollback) reset after exactly one more instruction interpretively;
+  // keep that timing.
+  if (!monitors_.empty() && first_pending_violation()) return false;
+
+  // With no monitors attached at all there is nobody to notify per
+  // control transfer, so the CPU may chain blocks internally and only
+  // surface at observation points.
+  BlockRun run = cpu_.run_block(breakpoint_pc, cycle_budget, monitors_.empty());
+  if (!run.executed) return false;
+  reset_this_step_ = false;
+  cycles_ += run.cycles;
+  if (run.steps > 0 || run.status == StepStatus::kDenied) {
+    notify_retire(run.last_pc, cpu_.pc(), run.last_next);
+  }
+  if (run.status == StepStatus::kDenied) {
+    if (auto v = first_pending_violation()) {
+      do_reset(*v, run.last_pc);
+    } else {
+      do_reset(ResetReason::kIllegalInstruction, run.last_pc);
+    }
+  }
+  return true;
+}
+
 RunResult Machine::run(uint64_t max_cycles) {
   return run_until(0xFFFF, max_cycles);  // 0xFFFF is never a fetch address
 }
@@ -127,19 +195,20 @@ RunResult Machine::run_until(uint16_t breakpoint_pc, uint64_t max_cycles) {
   while (cycles_ - start < max_cycles) {
     if (cpu_.pc() == breakpoint_pc && !cpu_.cpu_off()) {
       result.cause = StopCause::kBreakpoint;
-      result.cycles = cycles_ - start;
-      result.stop_pc = cpu_.pc();
-      return result;
+      break;
     }
-    step_once();
+    if (!try_run_block(breakpoint_pc, max_cycles - (cycles_ - start))) {
+      step_once();
+    }
     if (reset_this_step_ && halt_on_reset_) {
       result.cause = StopCause::kDeviceReset;
-      result.cycles = cycles_ - start;
-      result.stop_pc = cpu_.pc();
-      return result;
+      break;
     }
   }
-  result.cause = StopCause::kCycleBudget;
+  // Settle superblock tick debt before handing control back: the host
+  // (tests, verifier sweeps, stimulus injection) must observe exact
+  // peripheral time between runs.
+  bus_.flush_ticks();
   result.cycles = cycles_ - start;
   result.stop_pc = cpu_.pc();
   return result;

@@ -58,6 +58,16 @@ class Machine {
   // from one build point at one immutable table.
   void attach_decoded_image(std::shared_ptr<const isa::DecodedImage> image);
 
+  // Additionally attach the build's superblock table (requires a
+  // decoded image attached from the same flashed state): the run loop
+  // then dispatches whole straight-line runs per iteration whenever no
+  // attached monitor wants per-step callouts and no interrupt could
+  // become deliverable mid-run. Invalidation is the decode-cache rule:
+  // any store at or above the code floor drops the device back to
+  // per-instruction (and, once the decoded snapshot is stale,
+  // interpretive) execution.
+  void attach_block_image(std::shared_ptr<const isa::BlockImage> blocks);
+
   // Power-on: reset CPU from the vector table, notify monitors.
   void power_on();
 
@@ -80,10 +90,25 @@ class Machine {
     return resets_.empty() ? 0 : resets_.size() - 1;
   }
 
+  // How many superblocks the run loop dispatched (fast-path engagement
+  // telemetry; the differential tests assert this is nonzero under the
+  // superblock engine and zero elsewhere).
+  uint64_t blocks_executed() const { return cpu_.blocks_executed(); }
+
  private:
   // Steps one instruction or services one interrupt; returns false when
   // the device is idle (CPU off, nothing pending).
   bool step_once();
+  // Attempts one superblock dispatch at the current PC. Returns false
+  // (nothing happened; caller must step_once) when block dispatch is
+  // unavailable: no valid block table, a monitor wants per-step
+  // callouts, an interrupt is pending and deliverable, the CPU is off,
+  // or a violation latched outside stepping (update-engine paths).
+  bool try_run_block(uint16_t breakpoint_pc, uint64_t cycle_budget);
+  // Retire notification shared by both execution paths: per-step
+  // callouts go only to monitors that want them; the control-transfer
+  // callout fires for every monitor whenever to_pc != fallthrough.
+  void notify_retire(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough);
   void do_reset(ResetReason reason, uint16_t pc);
   bool interrupts_allowed(uint16_t pc) const;
   std::optional<ResetReason> first_pending_violation() const;
@@ -99,6 +124,7 @@ class Machine {
   Ultrasonic ranger_;
   Lcd lcd_;
   std::vector<Monitor*> monitors_;
+  std::vector<Monitor*> step_monitors_;  // subset with wants_step()
   std::vector<ResetEvent> resets_;
   uint64_t cycles_ = 0;
   bool halt_on_reset_ = false;

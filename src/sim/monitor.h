@@ -1,6 +1,24 @@
 // Hardware-monitor interface: bus snooping (inherited from BusWatcher)
 // plus PC-transition and interrupt visibility. CASU and EILID hardware
 // are implemented against this interface; so is the test tracer.
+//
+// Two granularities of PC visibility exist since the superblock core:
+//
+//   - on_control_transfer: fired for every *non-sequential* transfer
+//     (to_pc != fallthrough), at instruction granularity, under every
+//     execution engine. This is the notification integrity evidence is
+//     built from (CfaMonitor consumes nothing else -- LO-FAT-style
+//     monitors only ever observe transfers), and the block core emits
+//     it bit-identically: a straight-line run's interior instructions
+//     are all sequential by construction, so only its terminator can
+//     transfer.
+//   - on_step: fired after *every* retired instruction, but only for
+//     monitors that declare wants_step(). Any such monitor (the test
+//     tracers) forces the machine onto the per-instruction path --
+//     full-rate visibility and superblock dispatch are mutually
+//     exclusive by design, which is exactly why enforcement monitors
+//     must not claim it (CasuMonitor and CfaMonitor return false; all
+//     their enforcement lives in bus hooks and transfer events).
 #ifndef EILID_SIM_MONITOR_H
 #define EILID_SIM_MONITOR_H
 
@@ -37,13 +55,29 @@ class Monitor : public BusWatcher {
     (void)to_pc;
   }
 
-  // Fired after each retired instruction with the PC transition.
-  // `fallthrough` is the already-decoded fall-through address of the
-  // instruction at from_pc (== from_pc when nothing decoded): a step
-  // with to_pc != fallthrough is a control transfer, so monitors spot
-  // transfers by comparing two integers instead of re-decoding the
-  // instruction stream.
+  // Whether this monitor needs on_step after every retired instruction.
+  // True (the compatible default) pins the machine to per-instruction
+  // execution; monitors that only consume transfers must return false
+  // or they silently veto superblock dispatch for the whole device.
+  virtual bool wants_step() const { return true; }
+
+  // Fired after each retired instruction with the PC transition --
+  // only for monitors whose wants_step() is true. `fallthrough` is the
+  // already-decoded fall-through address of the instruction at from_pc
+  // (== from_pc when nothing decoded): a step with to_pc != fallthrough
+  // is a control transfer, so monitors spot transfers by comparing two
+  // integers instead of re-decoding the instruction stream.
   virtual void on_step(uint16_t from_pc, uint16_t to_pc, uint16_t fallthrough) {
+    (void)from_pc;
+    (void)to_pc;
+    (void)fallthrough;
+  }
+
+  // Fired for every non-sequential transfer (to_pc != fallthrough),
+  // under every engine, for every monitor. Same arguments as on_step;
+  // sequential steps are never reported here.
+  virtual void on_control_transfer(uint16_t from_pc, uint16_t to_pc,
+                                   uint16_t fallthrough) {
     (void)from_pc;
     (void)to_pc;
     (void)fallthrough;

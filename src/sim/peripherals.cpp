@@ -58,6 +58,19 @@ bool TimerA::tick(uint64_t cycles) {
 
 int TimerA::pending_irq() const { return irq_latched_ ? irq::kTimer : -1; }
 
+uint64_t TimerA::cycles_to_irq() const {
+  if ((ctl_ & 0x1) == 0 || (ctl_ & 0x2) == 0 || ccr0_ == 0) return kIrqNever;
+  if (irq_latched_) return 0;  // already asserted (conservative)
+  // Counter steps remaining until ++count_ >= ccr0_ fires, then back
+  // through the prescaler: the assertion lands on the tick whose
+  // cumulative cycles cover (steps << shift) - sub_cycles_.
+  const unsigned shift = 3u * ((ctl_ >> 4) & 0x3);
+  const uint64_t steps = ccr0_ > count_ ? static_cast<uint64_t>(ccr0_ - count_)
+                                        : 1;
+  const uint64_t cycles = steps << shift;
+  return cycles > sub_cycles_ ? cycles - sub_cycles_ : 1;
+}
+
 void TimerA::reset() {
   ctl_ = 0;
   ccr0_ = 0xFFFF;

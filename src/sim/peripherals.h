@@ -23,6 +23,10 @@ class TimerA : public Peripheral {
   bool tick(uint64_t cycles) override;
   int pending_irq() const override;
   void ack_irq() override { irq_latched_ = false; }
+  // Exact cycle horizon to the next compare-match IRQ assertion (the
+  // timer is the only peripheral whose tick can assert a line; every
+  // other source changes only on register access or host stimulus).
+  uint64_t cycles_to_irq() const override;
   void reset() override;
   uint16_t first_addr() const override { return mmio::kTimerCtl; }
   uint16_t last_addr() const override { return mmio::kTimerFlags; }

@@ -183,11 +183,12 @@ TEST(DecodedImage, SelfModifyingCodeInvalidatesAndRedecodes) {
   auto build = std::make_shared<const core::BuildResult>(
       core::build_app(kSelfPatchingSource, "selfpatch", {.eilid = false}));
 
-  auto run_one = [&](bool predecode, TraceMonitor& trace) -> DeviceSession* {
+  auto run_one = [&](ExecutionEngine engine,
+                     TraceMonitor& trace) -> DeviceSession* {
     static int n = 0;
     auto* session = new DeviceSession(
         "selfmod-" + std::to_string(n++), build, EnforcementPolicy::kNone,
-        {.predecode = predecode});
+        {.engine = engine});
     session->machine().add_monitor(&trace);
     auto result = session->run_to_symbol("halt", 10000);
     EXPECT_EQ(result.cause, sim::StopCause::kBreakpoint);
@@ -196,12 +197,17 @@ TEST(DecodedImage, SelfModifyingCodeInvalidatesAndRedecodes) {
 
   TraceMonitor cached_trace;
   TraceMonitor interp_trace;
-  std::unique_ptr<DeviceSession> cached(run_one(true, cached_trace));
-  std::unique_ptr<DeviceSession> interp(run_one(false, interp_trace));
+  TraceMonitor block_trace;
+  std::unique_ptr<DeviceSession> cached(
+      run_one(ExecutionEngine::kPredecoded, cached_trace));
+  std::unique_ptr<DeviceSession> interp(
+      run_one(ExecutionEngine::kInterpretive, interp_trace));
+  std::unique_ptr<DeviceSession> block(
+      run_one(ExecutionEngine::kSuperblock, block_trace));
 
-  // The patch must have taken effect on both: stale decode would leave
-  // r13 == 0 (and r12 == 2).
-  for (DeviceSession* s : {cached.get(), interp.get()}) {
+  // The patch must have taken effect on all engines: stale decode would
+  // leave r13 == 0 (and r12 == 2).
+  for (DeviceSession* s : {cached.get(), interp.get(), block.get()}) {
     EXPECT_EQ(s->machine().cpu().reg(12), 1) << s->id();
     EXPECT_EQ(s->machine().cpu().reg(13), 2) << s->id();
   }
@@ -209,6 +215,7 @@ TEST(DecodedImage, SelfModifyingCodeInvalidatesAndRedecodes) {
   // Bit-identical retired-instruction traces, fall-throughs included.
   ASSERT_FALSE(cached_trace.steps().empty());
   EXPECT_EQ(cached_trace.steps(), interp_trace.steps());
+  EXPECT_EQ(cached_trace.steps(), block_trace.steps());
 
   // The cached run really used the table before the patch and really
   // abandoned it afterwards.
@@ -222,27 +229,38 @@ TEST(DecodedImage, SelfModifyingCodeInvalidatesAndRedecodes) {
 }
 
 TEST(DecodedImage, CfaEvidenceIdenticalAcrossDecodePaths) {
-  // The zero-redecode monitor must log exactly the edges the
-  // re-decoding monitor used to, on both decode paths.
+  // The transfer-notification monitor must log exactly the edges the
+  // re-decoding per-step monitor used to, under every engine -- the
+  // superblock run has no tracer attached, so it genuinely exercises
+  // block dispatch here.
   const auto& app = apps::app_by_name("charlieplexing");
-  auto run_one = [&](bool predecode) {
+  auto run_one = [&](ExecutionEngine engine) {
     Fleet fleet;
     DeviceSession& dev = fleet.deploy(
         "cfa-trace",
         fleet.build(app.source, app.name, {.eilid = false}),
         EnforcementPolicy::kCfaBaseline,
-        {.cfa = {.log_capacity = 1u << 17}, .predecode = predecode});
+        {.cfa = {.log_capacity = 1u << 17}, .engine = engine});
     app.setup(dev.machine());
     dev.run_to_symbol("halt", 8 * app.cycle_budget);
+    if (engine == ExecutionEngine::kSuperblock) {
+      EXPECT_GT(dev.machine().blocks_executed(), 0u);
+    } else {
+      EXPECT_EQ(dev.machine().blocks_executed(), 0u);
+    }
     return dev.cfa_monitor()->take_report(/*nonce=*/1,
                                           dev.machine().cycles());
   };
-  cfa::Report cached = run_one(true);
-  cfa::Report interp = run_one(false);
+  cfa::Report cached = run_one(ExecutionEngine::kPredecoded);
+  cfa::Report interp = run_one(ExecutionEngine::kInterpretive);
+  cfa::Report block = run_one(ExecutionEngine::kSuperblock);
   ASSERT_FALSE(cached.edges.empty());
   EXPECT_EQ(cached.edges, interp.edges);
   EXPECT_EQ(cached.dropped, interp.dropped);
   EXPECT_EQ(cached.mac, interp.mac);  // same nonce, seq, edges, key
+  EXPECT_EQ(block.edges, interp.edges);
+  EXPECT_EQ(block.dropped, interp.dropped);
+  EXPECT_EQ(block.mac, interp.mac);
 }
 
 }  // namespace

@@ -576,10 +576,10 @@ TEST(UpdateCampaignTest, PostUpdatePredecodedMatchesInterpretive) {
     uint32_t seq = 0;
     size_t edges = 0;
   };
-  auto run_variant = [&](bool predecode) {
+  auto run_variant = [&](ExecutionEngine engine) {
     Fleet fleet;
     SessionOptions options;
-    options.predecode = predecode;
+    options.engine = engine;
     DeviceSession& dev = fleet.provision(
         "dev", kFwV1, "fw", EnforcementPolicy::kCfaBaseline, options);
     TraceMonitor trace;
@@ -589,7 +589,8 @@ TEST(UpdateCampaignTest, PostUpdatePredecodedMatchesInterpretive) {
         fleet.stage_update(kFwV2, "fw", {.eilid = false}).apply_to(dev);
     EXPECT_EQ(outcome.result, UpdateResult::kApplied);
     dev.run_to_symbol("halt", 100000);
-    EXPECT_EQ(dev.machine().cpu().decode_cache_valid(), predecode);
+    EXPECT_EQ(dev.machine().cpu().decode_cache_valid(),
+              engine != ExecutionEngine::kInterpretive);
     auto verdict = fleet.verifier().attest(dev);
     VariantResult r;
     r.steps = trace.steps();
@@ -601,8 +602,9 @@ TEST(UpdateCampaignTest, PostUpdatePredecodedMatchesInterpretive) {
     return r;
   };
 
-  VariantResult cached = run_variant(true);
-  VariantResult interp = run_variant(false);
+  VariantResult cached = run_variant(ExecutionEngine::kPredecoded);
+  VariantResult interp = run_variant(ExecutionEngine::kInterpretive);
+  VariantResult block = run_variant(ExecutionEngine::kSuperblock);
   ASSERT_FALSE(cached.steps.empty());
   EXPECT_EQ(cached.steps, interp.steps);
   EXPECT_EQ(cached.tx, interp.tx);
@@ -611,6 +613,12 @@ TEST(UpdateCampaignTest, PostUpdatePredecodedMatchesInterpretive) {
   EXPECT_TRUE(interp.verdict_ok);
   EXPECT_EQ(cached.seq, interp.seq);
   EXPECT_EQ(cached.edges, interp.edges);
+  EXPECT_EQ(block.steps, interp.steps);
+  EXPECT_EQ(block.tx, interp.tx);
+  EXPECT_EQ(block.cycles, interp.cycles);
+  EXPECT_TRUE(block.verdict_ok);
+  EXPECT_EQ(block.seq, interp.seq);
+  EXPECT_EQ(block.edges, interp.edges);
 }
 
 // A transition whose images differ outside PMEM (here: instrumented

@@ -436,6 +436,108 @@ TEST(SelfHealingTest, PooledHealthRunBitIdenticalToSerial) {
   EXPECT_TRUE(serial.second == pooled.second);
 }
 
+// ----------------------------------------------------------- escalation
+
+TEST(EscalationTest, UnreachableDeviceEscalatesAfterMaxAttempts) {
+  Fleet fleet;
+  provision_fleet(fleet, 2);
+  HealthMonitor health(
+      fleet, {.heartbeat = {.period = 100},
+              .policy = {.staleness_threshold = 150, .max_heal_attempts = 2}});
+  health.stage_remediation(
+      fleet.stage_update(fleet.at(device_id(0)).shared_build()));
+
+  // dev-01 drops off after a clean first beat; by 300 it is stale and
+  // the remediation attempt cannot reach it (failed attempt #1).
+  health.run_until(100);
+  fleet.at(device_id(1)).set_online(false);
+  HealthReport report = health.run_until(300);
+  ASSERT_EQ(report.remediations.size(), 1u);
+  EXPECT_FALSE(report.remediations[0].healed);
+  EXPECT_TRUE(report.escalated.empty());
+  ASSERT_EQ(health.quarantined().size(), 1u);
+  EXPECT_EQ(health.quarantined()[0].remediation_attempts, 1u);
+
+  // Failed attempt #2 exhausts the budget: the same pass escalates.
+  report = health.run_until(400);
+  ASSERT_EQ(report.remediations.size(), 1u);
+  EXPECT_FALSE(report.remediations[0].healed);
+  ASSERT_EQ(report.escalated.size(), 1u);
+  EXPECT_EQ(report.escalated[0].device_id, device_id(1));
+  EXPECT_EQ(report.escalated[0].reason, QuarantineReason::kEscalated);
+  EXPECT_EQ(report.escalated[0].remediation_attempts, 2u);
+
+  // Terminal: no further remediation passes are spent on it -- even
+  // after the device comes back online -- and it stays quarantined
+  // until an operator acts.
+  fleet.at(device_id(1)).set_online(true);
+  report = health.run_until(600);
+  EXPECT_TRUE(report.remediations.empty());
+  EXPECT_TRUE(report.escalated.empty());  // transition reported once
+  EXPECT_EQ(report.quarantined_after, 1u);
+  ASSERT_EQ(health.quarantined().size(), 1u);
+  EXPECT_EQ(health.quarantined()[0].reason, QuarantineReason::kEscalated);
+}
+
+TEST(EscalationTest, HealCountSurvivesReleaseAndReconviction) {
+  Fleet fleet;
+  provision_fleet(fleet, 2);
+  HealthMonitor health(
+      fleet, {.heartbeat = {.period = 100},
+              .policy = {.staleness_threshold = 150, .max_heal_attempts = 2}});
+  health.stage_remediation(
+      fleet.stage_update(fleet.at(device_id(0)).shared_build()));
+
+  // Incarnation 1: offline -> stale -> one failed attempt, then the
+  // device comes back and the next pass heals and releases it.
+  health.run_until(100);
+  fleet.at(device_id(1)).set_online(false);
+  HealthReport report = health.run_until(300);
+  ASSERT_EQ(report.remediations.size(), 1u);
+  EXPECT_FALSE(report.remediations[0].healed);
+  fleet.at(device_id(1)).set_online(true);
+  report = health.run_until(400);
+  ASSERT_EQ(report.remediations.size(), 1u);
+  EXPECT_TRUE(report.remediations[0].healed);
+  EXPECT_TRUE(health.quarantined().empty());
+
+  // Incarnation 2: the same device goes bad again. Its new quarantine
+  // entry carries the *lifetime* attempt count (the release did not
+  // reset it), so the very next failed attempt -- #2 overall --
+  // escalates instead of looping heal -> re-quarantine forever.
+  fleet.at(device_id(1)).set_online(false);
+  report = health.run_until(700);
+  ASSERT_EQ(report.newly_quarantined.size(), 1u);
+  EXPECT_EQ(report.newly_quarantined[0].remediation_attempts, 1u);
+  ASSERT_EQ(report.escalated.size(), 1u);
+  EXPECT_EQ(report.escalated[0].device_id, device_id(1));
+  EXPECT_EQ(report.escalated[0].remediation_attempts, 2u);
+  ASSERT_EQ(health.quarantined().size(), 1u);
+  EXPECT_EQ(health.quarantined()[0].reason, QuarantineReason::kEscalated);
+}
+
+TEST(EscalationTest, ZeroMaxHealAttemptsMeansUnbounded) {
+  Fleet fleet;
+  provision_fleet(fleet, 2);
+  HealthMonitor health(fleet, {.heartbeat = {.period = 100},
+                               .policy = {.staleness_threshold = 150}});
+  health.stage_remediation(
+      fleet.stage_update(fleet.at(device_id(0)).shared_build()));
+  health.run_until(100);
+  fleet.at(device_id(1)).set_online(false);
+  // Five straight failed passes under the default (0 = unbounded)
+  // budget: the device keeps getting attempts and never escalates.
+  for (Tick deadline = 300; deadline <= 700; deadline += 100) {
+    HealthReport report = health.run_until(deadline);
+    ASSERT_EQ(report.remediations.size(), 1u) << deadline;
+    EXPECT_FALSE(report.remediations[0].healed);
+    EXPECT_TRUE(report.escalated.empty());
+  }
+  ASSERT_EQ(health.quarantined().size(), 1u);
+  EXPECT_EQ(health.quarantined()[0].reason, QuarantineReason::kStale);
+  EXPECT_EQ(health.quarantined()[0].remediation_attempts, 5u);
+}
+
 // --------------------------------------------------------- soak windows
 
 TEST(SoakTest, SoakResweepCatchesCompromiseTheFirstSweepMissed) {

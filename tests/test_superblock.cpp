@@ -1,0 +1,394 @@
+// Superblock execution engine: block-granular dispatch must be
+// architecturally invisible. Every case here runs the same program
+// under all three ExecutionEngines and demands bit-identical final
+// machine state (registers, cycles, retired instructions, reset log
+// and any RAM the program wrote) -- plus proof the superblock run
+// actually dispatched blocks, so the equality is not vacuous. The
+// cases target the block engine's hard edges: a store into the
+// currently executing block, an interrupt landing mid-block, the
+// decode boundary at the top of memory, an indirect branch into the
+// middle of another entry's run, and fleet-wide sharing of one
+// immutable BlockImage per build.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cfa/attestation.h"
+#include "eilid/fleet.h"
+#include "eilid/pipeline.h"
+#include "isa/block_image.h"
+#include "isa/decoded_image.h"
+#include "isa/encoder.h"
+#include "sim/memory_map.h"
+
+namespace eilid {
+namespace {
+
+constexpr ExecutionEngine kEngines[] = {ExecutionEngine::kInterpretive,
+                                        ExecutionEngine::kPredecoded,
+                                        ExecutionEngine::kSuperblock};
+
+// Everything a program run can observably produce. RAM words to compare
+// are listed explicitly per case (ram_from, ram_words).
+struct FinalState {
+  std::array<uint16_t, 16> regs{};
+  uint64_t cycles = 0;
+  uint64_t retired = 0;
+  std::vector<std::tuple<uint64_t, uint16_t, uint8_t>> resets;
+  std::vector<uint16_t> ram;
+
+  bool operator==(const FinalState&) const = default;
+};
+
+FinalState capture(sim::Machine& m, uint16_t ram_from = 0,
+                   size_t ram_words = 0) {
+  FinalState out;
+  for (int i = 0; i < 16; ++i) out.regs[static_cast<size_t>(i)] = m.cpu().reg(i);
+  out.cycles = m.cycles();
+  out.retired = m.cpu().instructions_retired();
+  for (const sim::ResetEvent& e : m.resets()) {
+    out.resets.emplace_back(e.cycle, e.pc, static_cast<uint8_t>(e.reason));
+  }
+  for (size_t i = 0; i < ram_words; ++i) {
+    out.ram.push_back(m.bus().raw_word(static_cast<uint16_t>(ram_from + 2 * i)));
+  }
+  return out;
+}
+
+std::shared_ptr<const core::BuildResult> build_of(const char* source) {
+  return std::make_shared<const core::BuildResult>(
+      core::build_app(source, "superblock-case", {.eilid = false}));
+}
+
+// The CFA half of every differential: run the program under
+// kCfaBaseline (CASU + logging monitor -- wants_step() false, so block
+// dispatch stays engaged and on_control_transfer carries the log) on
+// each engine and demand the attestation evidence is bit-identical:
+// same edges in the same order, same drop count, same MAC. A block
+// engine that reported transfers at wrong boundaries, merged edges or
+// skipped the denied store would forge different evidence.
+void expect_cfa_identical(std::shared_ptr<const core::BuildResult> build,
+                          const char* tag, uint64_t budget) {
+  std::vector<cfa::Report> reports;
+  std::vector<FinalState> states;
+  for (ExecutionEngine engine : kEngines) {
+    DeviceSession dev(std::string(tag) + "-cfa-" +
+                          std::string(execution_engine_name(engine)),
+                      build, EnforcementPolicy::kCfaBaseline,
+                      {.engine = engine});
+    dev.machine().set_halt_on_reset(true);
+    dev.machine().run(budget);
+    states.push_back(capture(dev.machine()));
+    reports.push_back(
+        dev.cfa_monitor()->take_report(0xA5A5, dev.machine().cycles()));
+  }
+  EXPECT_EQ(states[1], states[0]) << tag;
+  EXPECT_EQ(states[2], states[0]) << tag;
+  EXPECT_FALSE(reports[0].edges.empty()) << tag;
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].edges, reports[0].edges) << tag;
+    EXPECT_EQ(reports[i].dropped, reports[0].dropped) << tag;
+    EXPECT_EQ(reports[i].cycle, reports[0].cycle) << tag;
+    EXPECT_EQ(reports[i].mac, reports[0].mac) << tag;
+  }
+}
+
+// ------------------------------------------------- self-modifying store
+
+// The second instruction of main's straight-line run overwrites the
+// fourth (`victim`) with the donor word (`incd r13`), while the block
+// containing both is executing. The generation check must end the
+// block at the patching store so the victim re-decodes from memory:
+// r12 stays 0 and r13 becomes 2. A block engine that kept running its
+// stale table would execute the original `inc r12`.
+const char* kStoreIntoOwnBlock = R"(.equ DSTA, 0xE00A
+.equ SRCA, 0xE010
+.org 0xE000
+main:
+    mov #0x1000, r1
+    mov &SRCA, &DSTA
+victim:
+    inc r12
+halt:
+    jmp halt
+.org 0xE010
+donor:
+    incd r13
+.vector 15, main
+)";
+
+TEST(Superblock, SelfModifyingStoreIntoExecutingBlock) {
+  auto build = build_of(kStoreIntoOwnBlock);
+  ASSERT_NE(build->block_image, nullptr);
+  // The victim sits mid-run: the suffix at main spans the store, the
+  // victim and the jmp terminator.
+  const auto* entry = build->block_image->lookup(0xE000);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GE(entry->span, 4u);
+
+  std::vector<FinalState> states;
+  for (ExecutionEngine engine : kEngines) {
+    DeviceSession dev("selfmod-" + std::string(execution_engine_name(engine)),
+                      build, EnforcementPolicy::kNone, {.engine = engine});
+    auto result = dev.run_to_symbol("halt", 10000);
+    EXPECT_EQ(result.cause, sim::StopCause::kBreakpoint);
+    EXPECT_EQ(dev.machine().cpu().reg(12), 0) << execution_engine_name(engine);
+    EXPECT_EQ(dev.machine().cpu().reg(13), 2) << execution_engine_name(engine);
+    if (engine == ExecutionEngine::kSuperblock) {
+      EXPECT_GT(dev.machine().blocks_executed(), 0u);
+      // The patched build table is stale for good: the device fell back
+      // to interpretive decode at the patch and stays there.
+      EXPECT_FALSE(dev.machine().cpu().decode_cache_valid());
+    } else {
+      EXPECT_EQ(dev.machine().blocks_executed(), 0u);
+    }
+    states.push_back(capture(dev.machine()));
+  }
+  EXPECT_EQ(states[1], states[0]);
+  EXPECT_EQ(states[2], states[0]);
+
+  // Under CASU the store into program memory is *denied* and the device
+  // resets -- at the identical instruction, with identical evidence, on
+  // every engine.
+  expect_cfa_identical(build, "selfmod", 5000);
+}
+
+// ----------------------------------------------------------- IRQ timing
+
+// The timer fires every 37 cycles while an 8-instruction straight-line
+// block spins; almost every delivery lands mid-block. The ISR appends
+// the *live value of r12* to a RAM log, so the exact instruction
+// boundary of every delivery is frozen into memory: any engine that
+// defers or advances an interrupt by even one instruction produces a
+// different log.
+const char* kIrqMidBlock = R"(.equ TIMER_CTL, 0x0100
+.equ TIMER_CCR0, 0x0102
+.equ TIMER_FLAGS, 0x0106
+.org 0xE000
+main:
+    mov #0x1000, r1
+    mov #0x0300, r15
+    mov #37, &TIMER_CCR0
+    mov #3, &TIMER_CTL
+    eint
+loop:
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+    cmp #40, r14
+    jnz loop
+    dint
+halt:
+    jmp halt
+timer_isr:
+    mov r12, 0(r15)
+    incd r15
+    inc r14
+    clr &TIMER_FLAGS
+    reti
+.vector 15, main
+.vector 8, timer_isr
+)";
+
+TEST(Superblock, IrqDeliversAtTheExactMidBlockBoundary) {
+  auto build = build_of(kIrqMidBlock);
+  std::vector<FinalState> states;
+  for (ExecutionEngine engine : kEngines) {
+    DeviceSession dev("irq-" + std::string(execution_engine_name(engine)),
+                      build, EnforcementPolicy::kNone, {.engine = engine});
+    auto result = dev.run_to_symbol("halt", 200000);
+    EXPECT_EQ(result.cause, sim::StopCause::kBreakpoint);
+    EXPECT_EQ(dev.machine().cpu().reg(14), 40) << execution_engine_name(engine);
+    if (engine == ExecutionEngine::kSuperblock) {
+      EXPECT_GT(dev.machine().blocks_executed(), 0u);
+    }
+    // 40 logged r12 snapshots, one per delivery.
+    states.push_back(capture(dev.machine(), 0x0300, 40));
+  }
+  // The log must not be trivially constant (deliveries really landed at
+  // different spin counts).
+  EXPECT_NE(states[0].ram.front(), states[0].ram.back());
+  EXPECT_EQ(states[1], states[0]);
+  EXPECT_EQ(states[2], states[0]);
+
+  // Interrupt entries and retis are logged edges: the CFA evidence
+  // pins every delivery boundary.
+  expect_cfa_identical(build, "irq", 150000);
+}
+
+// ------------------------------------------------- top-of-memory bound
+
+TEST(Superblock, BlockEndsAtRangeBoundary) {
+  // Unit-level: a range whose last slot holds a plain (non-transfer)
+  // instruction. The backward pass must stop the run there with
+  // kRangeEnd -- the fall-through leaves the table.
+  isa::Instruction inc = isa::Instruction::double_op(
+      isa::Opcode::kAdd, isa::Operand::make_imm(1),
+      isa::Operand::make_reg(12));
+  std::vector<uint8_t> memory(0x10000, 0);
+  for (uint32_t pc = 0xFF00; pc <= 0xFF0A; pc += 2) {
+    auto words = isa::encode(inc, static_cast<uint16_t>(pc));
+    ASSERT_EQ(words.size(), 1u);
+    memory[pc] = static_cast<uint8_t>(words[0]);
+    memory[pc + 1] = static_cast<uint8_t>(words[0] >> 8);
+  }
+  const isa::DecodedImage::Range range[] = {{0xFF00, 0xFF0A}};
+  isa::DecodedImage decoded(memory, range);
+  isa::BlockImage blocks(decoded);
+  const auto* first = blocks.lookup(0xFF00);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->span, 6u);
+  EXPECT_EQ(first->end, isa::BlockEnd::kRangeEnd);
+  const auto* last = blocks.lookup(0xFF0A);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->span, 1u);
+  EXPECT_EQ(last->end, isa::BlockEnd::kRangeEnd);
+}
+
+// Machine-level: straight-line code high in PMEM runs off its own
+// decoded tail into words that do not decode (the unused vector area).
+// Every engine must fault at the same pc on the same cycle and reset
+// identically.
+const char* kRunsOffTheTop = R"(.org 0xE000
+main:
+    mov #0x1000, r1
+    br #top
+halt:
+    jmp halt
+.org 0xFFC0
+top:
+    inc r12
+    inc r12
+    inc r12
+    inc r12
+.vector 15, main
+)";
+
+TEST(Superblock, RunOffDecodedTailFaultsIdentically) {
+  auto build = build_of(kRunsOffTheTop);
+  std::vector<FinalState> states;
+  for (ExecutionEngine engine : kEngines) {
+    DeviceSession dev("top-" + std::string(execution_engine_name(engine)),
+                      build, EnforcementPolicy::kNone, {.engine = engine});
+    dev.machine().set_halt_on_reset(true);
+    auto result = dev.machine().run(10000);
+    EXPECT_EQ(result.cause, sim::StopCause::kDeviceReset)
+        << execution_engine_name(engine);
+    if (engine == ExecutionEngine::kSuperblock) {
+      EXPECT_GT(dev.machine().blocks_executed(), 0u);
+    }
+    // Power-on plus exactly one illegal-instruction trap at 0xFFC8 (the
+    // first undecodable word after the inc run).
+    ASSERT_EQ(dev.machine().resets().size(), 2u);
+    EXPECT_EQ(dev.machine().resets()[1].pc, 0xFFC8);
+    EXPECT_EQ(dev.machine().resets()[1].reason,
+              sim::ResetReason::kIllegalInstruction);
+    states.push_back(capture(dev.machine()));
+  }
+  EXPECT_EQ(states[1], states[0]);
+  EXPECT_EQ(states[2], states[0]);
+
+  expect_cfa_identical(build, "top", 10000);
+}
+
+// ------------------------------------------- indirect branch mid-block
+
+// `br r10` lands in the middle of the straight-line run that starts at
+// `blockstart`. The suffix table needs no splitting: the landing pc is
+// itself a block entry whose run is exactly the tail.
+const char* kIndirectToMidBlock = R"(.org 0xE000
+main:
+    mov #0x1000, r1
+    mov #midblock, r10
+    clr r12
+    br r10
+blockstart:
+    inc r12
+midblock:
+    inc r12
+    inc r12
+halt:
+    jmp halt
+.vector 15, main
+)";
+
+TEST(Superblock, IndirectBranchToMidBlockPcDispatchesTheSuffix) {
+  auto build = build_of(kIndirectToMidBlock);
+  ASSERT_NE(build->block_image, nullptr);
+  // blockstart = 0xE00C, midblock = 0xE00E (mov #imm,r1 and mov #imm,r10
+  // are two words each; clr and br are one). The suffix at the landing
+  // pc is strictly shorter than the leader's run that contains it.
+  const auto* leader = build->block_image->lookup(0xE00C);
+  const auto* suffix = build->block_image->lookup(0xE00E);
+  ASSERT_NE(leader, nullptr);
+  ASSERT_NE(suffix, nullptr);
+  EXPECT_EQ(leader->span, 4u);  // inc, inc, inc, jmp
+  EXPECT_EQ(suffix->span, 3u);  // inc, inc, jmp
+  EXPECT_EQ(suffix->end, isa::BlockEnd::kTransfer);
+
+  std::vector<FinalState> states;
+  for (ExecutionEngine engine : kEngines) {
+    DeviceSession dev("mid-" + std::string(execution_engine_name(engine)),
+                      build, EnforcementPolicy::kNone, {.engine = engine});
+    auto result = dev.run_to_symbol("halt", 10000);
+    EXPECT_EQ(result.cause, sim::StopCause::kBreakpoint);
+    // The first inc (blockstart) was skipped: only the suffix ran.
+    EXPECT_EQ(dev.machine().cpu().reg(12), 2) << execution_engine_name(engine);
+    if (engine == ExecutionEngine::kSuperblock) {
+      EXPECT_GT(dev.machine().blocks_executed(), 0u);
+    }
+    states.push_back(capture(dev.machine()));
+  }
+  EXPECT_EQ(states[1], states[0]);
+  EXPECT_EQ(states[2], states[0]);
+
+  // The indirect edge (br r10 -> midblock) must appear in the evidence
+  // with the same from/to under block dispatch as interpretively.
+  expect_cfa_identical(build, "mid", 10000);
+}
+
+// ------------------------------------------------- fleet-wide sharing
+
+TEST(Superblock, FleetSharesOneBlockImagePerBuild) {
+  Fleet fleet;
+  auto build = fleet.build(kIndirectToMidBlock, "shared", {.eilid = false});
+  ASSERT_NE(build->block_image, nullptr);
+
+  std::vector<DeviceSession*> devices;
+  for (int i = 0; i < 4; ++i) {
+    // Default SessionOptions: the superblock engine.
+    devices.push_back(
+        &fleet.deploy("share-" + std::to_string(i), build,
+                      EnforcementPolicy::kNone, {}));
+  }
+  for (DeviceSession* dev : devices) {
+    // One immutable table per build -- every session points at it.
+    EXPECT_EQ(dev->machine().cpu().block_image(), build->block_image.get());
+    EXPECT_EQ(dev->build().block_image.get(), build->block_image.get());
+  }
+  // Interpretive reference plus every shared-table device agree on the
+  // complete final state, and each shared device genuinely dispatched
+  // blocks from the shared table.
+  DeviceSession& reference =
+      fleet.deploy("share-ref", build, EnforcementPolicy::kNone,
+                   {.engine = ExecutionEngine::kInterpretive});
+  reference.run_to_symbol("halt", 10000);
+  const FinalState expected = capture(reference.machine());
+  for (DeviceSession* dev : devices) {
+    dev->run_to_symbol("halt", 10000);
+    EXPECT_GT(dev->machine().blocks_executed(), 0u) << dev->id();
+    EXPECT_EQ(capture(dev->machine()), expected) << dev->id();
+  }
+}
+
+}  // namespace
+}  // namespace eilid
