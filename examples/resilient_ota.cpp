@@ -1,0 +1,189 @@
+// Resilient OTA walkthrough, in three acts, all deterministic (every
+// fault roll comes from a stream keyed by (seed, device_id) -- rerun
+// it and the same chunks drop on the same devices):
+//
+//   Act 1 -- a campaign over a hostile pipe. Firmware ships to a small
+//   fleet in 24-byte chunks over a transport that drops, corrupts,
+//   duplicates, reorders and delays. Corrupted chunks are NACKed by
+//   the transport checksum and retransmitted; the package MAC still
+//   authenticates the reassembled whole. Every device converges to the
+//   new build; the per-device attempt/retransmit counts show what the
+//   pipe cost.
+//
+//   Act 2 -- power loss, twice. First mid-transfer: the supply fails
+//   at a chunk boundary, the device reboots on its old image (staged
+//   chunks live in a non-volatile slot, PMEM is untouched), and the
+//   re-delivered campaign RESUMES -- it ships only the missing chunks.
+//   Then mid-apply: the supply fails between two regions of the commit
+//   replay; the non-volatile journal is finished idempotently by the
+//   bootloader half at the next boot, inside the same delivery call.
+//   Neither cut ever leaves a half-flashed device observable.
+//
+//   Act 3 -- an adversary in the pipe. A forged chunk with a freshly
+//   recomputed transport checksum sails through reassembly and dies at
+//   the package MAC: kBadMac, the monitor latches, the version stays
+//   put. The device heals by reset and a clean delivery applies.
+#include <cstdio>
+#include <string>
+
+#include "src/eilid/fleet.h"
+#include "src/eilid/transport.h"
+#include "src/eilid/update.h"
+
+using namespace eilid;
+
+namespace {
+
+std::string app_version(char marker) {
+  std::string s = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+    mov.b #')";
+  s += marker;
+  s += R"(', &UART_TX
+halt:
+    jmp halt
+.vector 15, main
+.end
+)";
+  return s;
+}
+
+Fleet& provision(Fleet& fleet, int devices) {
+  for (int i = 0; i < devices; ++i) {
+    DeviceSession& dev = fleet.provision(
+        "node-" + std::to_string(i), app_version('1'), "fw",
+        EnforcementPolicy::kCfaBaseline, {.cfa = {.log_capacity = 65536}});
+    dev.run_to_symbol("halt", 10000);
+  }
+  return fleet;
+}
+
+void print_outcome(const UpdateOutcome& out) {
+  std::printf("  %s: %s, %u attempt%s%s, %zu bytes retransmitted\n",
+              out.device_id.c_str(),
+              std::string(update_result_name(out.result)).c_str(),
+              out.attempts, out.attempts == 1 ? "" : "s",
+              out.resumed ? " (resumed)" : "", out.bytes_retransmitted);
+}
+
+void act_one() {
+  std::printf("=== Act 1: campaign over a lossy pipe ===\n");
+  Fleet fleet;
+  provision(fleet, 4);
+
+  CampaignOptions options;
+  TransportOptions transport;
+  transport.chunk_size = 24;
+  transport.seed = 0xC0FFEE;
+  transport.max_rounds = 64;
+  transport.faults = {.drop_per_mille = 200,
+                      .corrupt_per_mille = 100,
+                      .duplicate_per_mille = 100,
+                      .reorder_per_mille = 150,
+                      .delay_per_mille = 100};
+  options.transport = transport;
+
+  UpdateCampaign campaign =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false}, options);
+  for (const UpdateOutcome& out : campaign.roll_out()) print_outcome(out);
+  for (const auto& verdict : fleet.verifier().verify_all()) {
+    std::printf("  attest %s: %s\n", verdict.device_id.c_str(),
+                verdict.ok() ? "ok" : "CONVICTED");
+  }
+}
+
+void act_two() {
+  std::printf("\n=== Act 2: power loss mid-transfer, then mid-apply ===\n");
+  Fleet fleet;
+  provision(fleet, 2);
+
+  // --- mid-transfer: the supply fails after 2 of the chunks have
+  // landed (8-byte chunks keep the boundary well short of the end).
+  DeviceSession& cut_transfer = fleet.at("node-0");
+  CampaignOptions interrupted;
+  TransportOptions transport;
+  transport.chunk_size = 8;
+  transport.max_rounds = 1;  // the reboot ends this delivery attempt
+  transport.faults.power_loss_at_chunk = 2;
+  interrupted.transport = transport;
+  UpdateCampaign campaign =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false},
+                         interrupted);
+  const UpdateOutcome first = campaign.apply_to(cut_transfer);
+  print_outcome(first);
+  size_t staged = 0;
+  for (bool have :
+       cut_transfer.staged_update_chunks(campaign.package_for(cut_transfer).mac)) {
+    staged += have;
+  }
+  std::printf("  rebooted on v%u with %zu chunks staged; attest %s\n",
+              cut_transfer.firmware_version(), staged,
+              fleet.verifier().attest(cut_transfer).ok() ? "ok" : "CONVICTED");
+
+  CampaignOptions clean;
+  clean.transport = TransportOptions{.chunk_size = 8};
+  const UpdateOutcome resumed =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false}, clean)
+          .apply_to(cut_transfer);
+  print_outcome(resumed);  // resumed: only the missing chunks shipped
+
+  // --- mid-apply: the supply fails during the commit replay itself.
+  DeviceSession& cut_apply = fleet.at("node-1");
+  CampaignOptions mid_apply;
+  mid_apply.transport = TransportOptions{.chunk_size = 24};
+  mid_apply.transport->faults.power_loss_mid_apply = 0;  // before region 1
+  const UpdateOutcome healed =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false}, mid_apply)
+          .apply_to(cut_apply);
+  print_outcome(healed);  // 2 attempts: the boot-time recovery finished it
+  std::printf("  journal replayed at boot; now on v%u, attest %s\n",
+              cut_apply.firmware_version(),
+              fleet.verifier().attest(cut_apply).ok() ? "ok" : "CONVICTED");
+}
+
+void act_three() {
+  std::printf("\n=== Act 3: forged chunk dies at the package MAC ===\n");
+  Fleet fleet;
+  provision(fleet, 1);
+  DeviceSession& dev = fleet.at("node-0");
+
+  CampaignOptions forged;
+  forged.transport = TransportOptions{.chunk_size = 24};
+  forged.transport->tamper_chunk = [](const DeviceSession&,
+                                      casu::TransferChunk& chunk) {
+    if (chunk.index != 1) return;
+    chunk.payload[0] ^= 0xA5;
+    chunk.checksum = casu::chunk_checksum(chunk);  // adversary, not noise
+  };
+  const UpdateOutcome attack =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false}, forged)
+          .apply_to(dev);
+  print_outcome(attack);
+  std::printf("  still v%u; monitor latched, device heals by reset\n",
+              dev.firmware_version());
+
+  dev.power_cycle();
+  CampaignOptions clean;
+  clean.transport = TransportOptions{.chunk_size = 24};
+  const UpdateOutcome recovered =
+      fleet.stage_update(app_version('2'), "fw", {.eilid = false}, clean)
+          .apply_to(dev);
+  print_outcome(recovered);
+
+  dev.machine().uart().clear_tx();
+  dev.power_cycle();
+  dev.run_to_symbol("halt", 10000);
+  std::printf("  node-0 now transmits '%c'\n",
+              dev.machine().uart().tx_text()[0]);
+}
+
+}  // namespace
+
+int main() {
+  act_one();
+  act_two();
+  act_three();
+  return 0;
+}

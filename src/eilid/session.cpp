@@ -138,6 +138,26 @@ casu::UpdateStatus DeviceSession::apply_update(
   return status;
 }
 
+casu::ChunkAck DeviceSession::receive_update_chunk(
+    const casu::TransferChunk& chunk) {
+  return update_engine_->receive_chunk(chunk);
+}
+
+std::vector<bool> DeviceSession::staged_update_chunks(
+    const crypto::Digest& transfer_id) const {
+  return update_engine_->staged_chunk_map(transfer_id);
+}
+
+casu::UpdateStatus DeviceSession::finalize_update(
+    std::optional<size_t> power_cut_after_regions) {
+  casu::UpdateStatus status =
+      update_engine_->finalize_transfer(power_cut_after_regions);
+  if (status == casu::UpdateStatus::kApplied && cfa_monitor_ != nullptr) {
+    cfa_monitor_->on_update_applied();
+  }
+  return status;
+}
+
 void DeviceSession::adopt_build(std::shared_ptr<const core::BuildResult> next) {
   if (!next) {
     throw FleetError("session '" + id_ + "': adopt_build with null build");
@@ -197,6 +217,15 @@ void DeviceSession::power_cycle() {
   if (cfa_monitor_ != nullptr) {
     cfa_monitor_->clear_violation();
     cfa_monitor_->on_device_reset();
+  }
+  // The bootloader half of a power-loss-safe update runs before
+  // application code: a commit journal left pending by a supply
+  // failure mid-swap is idempotently replayed to completion now, and
+  // the finished swap is logged as an update marker (after the reset
+  // marker this reboot just logged -- the verifier's replay handles
+  // the markers in log order either way).
+  if (update_engine_->recover_after_reset() && cfa_monitor_ != nullptr) {
+    cfa_monitor_->on_update_applied();
   }
   machine_.cpu().power_on_reset();
 }

@@ -11,8 +11,10 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "casu/update.h"
 #include "cfa/attestation.h"
@@ -135,6 +137,25 @@ class DeviceSession {
   // eilid::UpdateCampaign. Hold mutex() when a concurrent sweep may
   // touch this device.
   casu::UpdateStatus apply_update(const casu::UpdatePackage& package);
+
+  // --- chunked lossy-transport receiver (see eilid/transport.h) -----
+  // Thin forwarders to this device's UpdateEngine (same binding
+  // guarantees as apply_update; hold mutex() under the same rules).
+  // The staged transfer and the commit journal are modeled as
+  // non-volatile: both survive power_cycle()/reflash(), like an
+  // inactive mcuboot image slot.
+  casu::ChunkAck receive_update_chunk(const casu::TransferChunk& chunk);
+  std::vector<bool> staged_update_chunks(
+      const crypto::Digest& transfer_id) const;
+  // Verify and two-phase-commit the staged transfer
+  // (UpdateEngine::finalize_transfer, including the power-cut
+  // injection hook); on kApplied a kCfaBaseline session logs the
+  // epoch-boundary update marker exactly like apply_update. When the
+  // cut fires (kInterrupted, journal pending), the reboot that follows
+  // real power loss is modeled by calling power_cycle(), whose boot
+  // path finishes the commit.
+  casu::UpdateStatus finalize_update(
+      std::optional<size_t> power_cut_after_regions = std::nullopt);
 
   // Re-point the session at `next` after an applied update has made
   // the device's PMEM byte-identical to next's image (the caller --

@@ -1,0 +1,158 @@
+#include "eilid/transport.h"
+
+#include <utility>
+#include <vector>
+
+namespace eilid {
+
+namespace {
+
+// One chunk in flight. `orig` is the sender's logical chunk ordinal,
+// kept outside the (tamperable) chunk itself so ack bookkeeping stays
+// truthful even when an adversary rewrites the index field.
+struct Flight {
+  size_t orig = 0;
+  casu::TransferChunk chunk;
+};
+
+void corrupt_in_flight(casu::TransferChunk& chunk, common::SeededRng& rng) {
+  // Line noise: flip one payload byte. The checksum is now stale, so
+  // the receiver NACKs (kCorrupt) and the sender retransmits -- this
+  // is the fault the transport CRC exists for.
+  if (!chunk.payload.empty()) {
+    chunk.payload[rng.below(chunk.payload.size())] ^=
+        static_cast<uint8_t>(1u << rng.below(8));
+  } else {
+    chunk.checksum ^= 1;
+  }
+}
+
+}  // namespace
+
+DeliveryResult deliver_update(DeviceSession& session,
+                              const casu::UpdatePackage& package,
+                              const TransportOptions& options) {
+  common::SeededRng rng =
+      common::SeededRng::keyed(options.seed, session.id());
+  const std::vector<casu::TransferChunk> chunks =
+      casu::chunk_package(package, options.chunk_size);
+  const FaultSpec& faults = options.faults;
+
+  DeliveryResult out;
+  std::vector<bool> acked(chunks.size(), false);
+  std::vector<bool> sent_once(chunks.size(), false);
+  size_t acked_count = 0;
+
+  // Resume negotiation: ask the receiver which chunks of *this*
+  // transfer (content-addressed by the package MAC) it already holds.
+  // A device interrupted mid-transfer -- retry budget, power loss,
+  // unreachable -- picks up where it left off instead of restarting.
+  uint32_t accepted = 0;  // receiver-side accepts, power-loss counter
+  const std::vector<bool> staged = session.staged_update_chunks(package.mac);
+  if (staged.size() == chunks.size()) {
+    for (size_t i = 0; i < staged.size(); ++i) {
+      if (!staged[i]) continue;
+      acked[i] = true;
+      ++acked_count;
+      ++accepted;
+    }
+    if (acked_count > 0) out.resumed = true;
+  }
+
+  bool power_loss_armed = faults.power_loss_at_chunk.has_value();
+  std::vector<Flight> delayed;  // in the pipe, arrives next round
+  auto per_mille = [&rng](uint32_t rate) {
+    return rate != 0 && rng.chance(static_cast<int>(rate), 1000);
+  };
+
+  for (uint32_t round = 0;
+       round < options.max_rounds && acked_count < chunks.size(); ++round) {
+    if (!session.online()) {
+      // Radio off: this round's retransmissions and anything already
+      // in the pipe are lost. The round still burns retry budget --
+      // an unreachable device exhausts it and comes back kInterrupted
+      // for HealthMonitor to resume later.
+      delayed.clear();
+      continue;
+    }
+    std::vector<Flight> wire = std::move(delayed);
+    delayed.clear();
+    std::vector<Flight> reordered;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      if (acked[i]) continue;
+      Flight flight{i, chunks[i]};
+      ++out.chunks_sent;
+      if (sent_once[i]) out.bytes_retransmitted += chunks[i].payload.size();
+      sent_once[i] = true;
+      if (options.tamper_chunk) options.tamper_chunk(session, flight.chunk);
+      // Fault rolls in fixed order so the stream is identical no
+      // matter which faults are enabled at other rates.
+      if (per_mille(faults.drop_per_mille)) continue;
+      if (per_mille(faults.corrupt_per_mille)) {
+        corrupt_in_flight(flight.chunk, rng);
+      }
+      if (per_mille(faults.duplicate_per_mille)) wire.push_back(flight);
+      if (per_mille(faults.reorder_per_mille)) {
+        reordered.push_back(std::move(flight));
+      } else if (per_mille(faults.delay_per_mille)) {
+        delayed.push_back(std::move(flight));
+      } else {
+        wire.push_back(std::move(flight));
+      }
+    }
+    wire.insert(wire.end(), std::make_move_iterator(reordered.begin()),
+                std::make_move_iterator(reordered.end()));
+
+    for (Flight& flight : wire) {
+      switch (session.receive_update_chunk(flight.chunk)) {
+        case casu::ChunkAck::kAccepted:
+        case casu::ChunkAck::kComplete:
+          ++accepted;
+          break;
+        case casu::ChunkAck::kDuplicate:
+          break;  // already staged: counts as acked below, not accepted
+        case casu::ChunkAck::kCorrupt:
+        case casu::ChunkAck::kMalformed:
+          continue;  // NACK: stays un-acked, retransmits next round
+      }
+      if (!acked[flight.orig]) {
+        acked[flight.orig] = true;
+        ++acked_count;
+      }
+      if (power_loss_armed && accepted >= *faults.power_loss_at_chunk) {
+        // The device dies at this chunk boundary. Its staged slot is
+        // non-volatile, so nothing is lost but the rest of this
+        // round's traffic; the next round is the resumed attempt.
+        power_loss_armed = false;
+        session.power_cycle();
+        ++out.attempts;
+        out.resumed = true;
+        break;
+      }
+    }
+  }
+
+  if (acked_count < chunks.size()) {
+    // Retry budget exhausted with the transfer incomplete. The staged
+    // chunks survive on the device: a later delivery of the same
+    // package (same MAC) resumes instead of restarting.
+    out.status = casu::UpdateStatus::kInterrupted;
+    return out;
+  }
+
+  out.status = session.finalize_update(faults.power_loss_mid_apply);
+  if (out.status == casu::UpdateStatus::kInterrupted) {
+    // The injected supply failure fired mid-replay (the transfer was
+    // complete, so nothing else returns kInterrupted here). The reboot
+    // that follows real power loss runs the bootloader recovery, which
+    // finishes the journal -- the swap completes at boot.
+    ++out.attempts;
+    session.power_cycle();
+    out.status = session.firmware_version() == package.version
+                     ? casu::UpdateStatus::kApplied
+                     : casu::UpdateStatus::kInterrupted;
+  }
+  return out;
+}
+
+}  // namespace eilid

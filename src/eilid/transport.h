@@ -1,0 +1,118 @@
+// Deterministic lossy transport for OTA campaigns: the pipe between an
+// update authority and a device, with every fault a real radio link
+// has -- drops, corruption (line noise), duplication, reordering,
+// delay -- plus the two faults that define OTA robustness: the device
+// losing power at an arbitrary chunk boundary, and losing power in the
+// middle of the A/B apply itself.
+//
+// Everything is driven by one common::SeededRng stream keyed
+// (seed, device_id): the fault schedule for a device depends only on
+// the seed and its id, never on scheduling -- a pooled rollout's
+// outcomes are bit-identical to a serial rollout's, which is what lets
+// the determinism gates cover the transport path at all.
+//
+// The split of responsibilities mirrors production OTA stacks
+// (mcuboot-style A/B slots):
+//
+//   deliver_update() is the *sender* loop: chunk the MAC'd package
+//   (casu::chunk_package), negotiate resume from the receiver's staged
+//   chunk map, then retransmit un-acked chunks in bounded rounds. Each
+//   round models one ack-timeout window; in simulated time the
+//   exponential backoff between rounds collapses to nothing, so the
+//   bound is expressed purely in rounds (TransportOptions.max_rounds).
+//
+//   casu::UpdateEngine is the *receiver*: per-chunk checksum NACKs,
+//   non-volatile staging, and the two-phase verify-then-commit with a
+//   power-loss-proof journal (see casu/update.h). The transport never
+//   weakens a security property -- a forged chunk survives the pipe
+//   only to die at the package MAC.
+//
+// Faults are per-transmission Bernoulli trials in parts-per-mille.
+// power_loss_at_chunk / power_loss_mid_apply are one-shot injection
+// hooks, not random: tests sweep them across every chunk boundary and
+// every region boundary to prove that *no* reset point can brick the
+// device.
+#ifndef EILID_EILID_TRANSPORT_H
+#define EILID_EILID_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "casu/update.h"
+#include "common/rng.h"
+#include "eilid/session.h"
+
+namespace eilid {
+
+// Fault schedule for one delivery. The per-mille rates are evaluated
+// once per chunk transmission, in a fixed order (drop, corrupt,
+// duplicate, reorder, delay), from the (seed, device_id) stream.
+struct FaultSpec {
+  uint32_t drop_per_mille = 0;       // chunk vanishes in flight
+  uint32_t corrupt_per_mille = 0;    // payload byte flips; the stale
+                                     // checksum makes the receiver NACK
+  uint32_t duplicate_per_mille = 0;  // chunk arrives twice
+  uint32_t reorder_per_mille = 0;    // chunk arrives after the rest of
+                                     // this round's traffic
+  uint32_t delay_per_mille = 0;      // chunk arrives in the *next*
+                                     // round instead of this one
+
+  // One-shot: the device loses power the moment its receiver has
+  // accepted this many chunks (counted across the whole delivery,
+  // including chunks staged before a resume). The rest of the round's
+  // traffic is lost; staged progress survives (non-volatile slot) and
+  // the sender resumes in the next round.
+  std::optional<uint32_t> power_loss_at_chunk;
+  // One-shot: the supply fails after this many regions of the commit
+  // replay have been written (see UpdateEngine::finalize_transfer).
+  // The delivery power-cycles the device; recover_after_reset()
+  // finishes the journal at that boot, and the delivery reports
+  // kApplied -- the device was never observably half-flashed.
+  std::optional<size_t> power_loss_mid_apply;
+};
+
+struct TransportOptions {
+  size_t chunk_size = 48;   // payload bytes per chunk
+  uint64_t seed = 0;        // fault-stream seed, keyed per device id
+  uint32_t max_rounds = 32; // retransmission rounds before giving up
+                            // (the transfer stays staged for resume)
+  FaultSpec faults;
+  // Adversary-on-the-wire hook: invoked with every chunk transmission
+  // (retransmits included) after the sender computed its checksum;
+  // whatever it leaves behind is what the pipe carries. An adversary
+  // who recomputes the checksum gets the chunk *staged* -- and the
+  // forgery then fails the package MAC at finalize (kBadMac, monitor
+  // latch), which is the content of the forged-chunk scenarios. Same
+  // determinism/thread-safety contract as CampaignOptions.tamper.
+  std::function<void(const DeviceSession&, casu::TransferChunk&)> tamper_chunk;
+};
+
+// What one deliver_update() call did. `status` is the receiver's final
+// verdict: kInterrupted means the retry budget ran out (or the device
+// was offline) with the transfer incomplete -- the staged progress
+// survives, and a later delivery of the *same* package resumes.
+struct DeliveryResult {
+  casu::UpdateStatus status = casu::UpdateStatus::kInterrupted;
+  uint32_t attempts = 1;          // 1 + power-loss interruptions healed
+                                  // within this call
+  bool resumed = false;           // continued a previously staged
+                                  // transfer (prior call or power loss)
+  size_t chunks_sent = 0;         // transmissions, retransmits included
+  size_t bytes_retransmitted = 0; // payload bytes sent beyond the
+                                  // first transmission of each chunk
+};
+
+// Run the full sender loop against `session`'s receiver. The caller
+// holds session.mutex() (UpdateCampaign::apply_to does; hold it
+// yourself when driving a session a concurrent sweep can see). On
+// kApplied the device's PMEM and version counter are committed; the
+// caller still owns the build swap / CFG staging half, exactly as for
+// DeviceSession::apply_update.
+DeliveryResult deliver_update(DeviceSession& session,
+                              const casu::UpdatePackage& package,
+                              const TransportOptions& options);
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_TRANSPORT_H

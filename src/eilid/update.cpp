@@ -15,6 +15,7 @@ std::string_view update_result_name(UpdateResult result) {
     case UpdateResult::kBadRegion: return "bad-region";
     case UpdateResult::kIncompatible: return "incompatible";
     case UpdateResult::kImageMismatch: return "image-mismatch";
+    case UpdateResult::kInterrupted: return "interrupted";
   }
   return "?";
 }
@@ -114,11 +115,24 @@ UpdateOutcome UpdateCampaign::apply_locked(DeviceSession& session) {
 
   casu::UpdatePackage package = package_locked(session, *state.diff);
   // The transport between authority and device is where an adversary
-  // lives; the hook mutates what the device actually receives.
+  // lives; the hook mutates what the device actually receives. It runs
+  // before chunking, so on the lossy path a tampered package is what
+  // gets chunked -- and what fails the MAC after reassembly.
   if (options_.tamper) options_.tamper(session, package);
   out.regions = package.regions.size();
   out.payload_bytes = state.diff->payload_bytes;
-  switch (session.apply_update(package)) {
+  casu::UpdateStatus status;
+  if (options_.transport.has_value()) {
+    DeliveryResult delivery =
+        deliver_update(session, package, *options_.transport);
+    status = delivery.status;
+    out.attempts = delivery.attempts;
+    out.resumed = delivery.resumed;
+    out.bytes_retransmitted = delivery.bytes_retransmitted;
+  } else {
+    status = session.apply_update(package);
+  }
+  switch (status) {
     case casu::UpdateStatus::kApplied:
       out.result = UpdateResult::kApplied;
       break;
@@ -130,6 +144,9 @@ UpdateOutcome UpdateCampaign::apply_locked(DeviceSession& session) {
       return out;
     case casu::UpdateStatus::kBadRegion:
       out.result = UpdateResult::kBadRegion;
+      return out;
+    case casu::UpdateStatus::kInterrupted:
+      out.result = UpdateResult::kInterrupted;
       return out;
   }
   out.version_after = session.firmware_version();

@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -46,6 +47,7 @@
 #include "casu/update.h"
 #include "common/thread_pool.h"
 #include "eilid/session.h"
+#include "eilid/transport.h"
 
 namespace eilid {
 
@@ -65,6 +67,12 @@ enum class UpdateResult : uint8_t {
                     // build-to-build diff would leave memory matching
                     // neither image, so the transition is refused and
                     // nothing is applied
+  kInterrupted,     // lossy-transport path only: the delivery's retry
+                    // budget ran out (or the device was unreachable)
+                    // with the transfer incomplete. The device still
+                    // runs its old build, attestable; staged progress
+                    // survives on the device, so re-applying the same
+                    // campaign resumes instead of restarting
 };
 
 std::string_view update_result_name(UpdateResult result);
@@ -80,6 +88,15 @@ struct UpdateOutcome {
   bool build_swapped = false;   // session now runs the target build
   bool cfg_staged = false;      // verifier will swap this device's
                                 // replay CFG at the update marker
+  // Lossy-transport telemetry (see eilid/transport.h). The atomic
+  // in-memory path reports one attempt, nothing resumed, nothing
+  // retransmitted.
+  uint32_t attempts = 1;          // delivery attempts, power-loss
+                                  // recoveries within the call included
+  bool resumed = false;           // continued a previously staged
+                                  // transfer rather than starting fresh
+  size_t bytes_retransmitted = 0; // payload bytes sent beyond each
+                                  // chunk's first transmission
 
   bool ok() const {
     return result == UpdateResult::kApplied ||
@@ -109,6 +126,14 @@ struct CampaignOptions {
   // worker threads (decide from the device and package arguments
   // alone rather than mutating captured state).
   std::function<void(const DeviceSession&, casu::UpdatePackage&)> tamper;
+  // When set, packages ship over the deterministic lossy transport
+  // (chunked, per-chunk acks, bounded retry, resume, power-loss-safe
+  // two-phase apply) instead of the atomic in-memory handoff; see
+  // eilid/transport.h. The tamper hook above still runs first -- a
+  // package tampered before chunking fails the MAC after reassembly,
+  // so the two adversary hooks compose. Fault streams are keyed
+  // (seed, device_id), preserving the pooled == serial contract.
+  std::optional<TransportOptions> transport;
 };
 
 // One staged rollout of a target build across fleet sessions. Created

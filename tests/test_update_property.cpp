@@ -1,0 +1,228 @@
+// Property coverage for the update-result vocabulary and for the
+// composition of the two adversary hooks: package-level tamper
+// (CampaignOptions.tamper) must compose with chunked lossy transport
+// -- a package tampered before chunking reassembles bit-perfectly and
+// then fails the package MAC on the device (kBadMac), the device heals
+// by reset, and pooled outcomes stay bit-identical to serial.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "casu/update.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "eilid/fleet.h"
+#include "eilid/transport.h"
+
+namespace eilid {
+namespace {
+
+// ------------------------------------------------------- name round-trips
+
+// Exhaustive: every enumerator has a distinct, stable, non-placeholder
+// name. A new enumerator that misses its switch case falls through to
+// "?" and fails here.
+TEST(UpdateNames, UpdateResultNameCoversEveryEnumerator) {
+  const std::vector<std::pair<UpdateResult, std::string_view>> expected = {
+      {UpdateResult::kApplied, "applied"},
+      {UpdateResult::kAlreadyCurrent, "already-current"},
+      {UpdateResult::kBadMac, "bad-mac"},
+      {UpdateResult::kRollback, "rollback"},
+      {UpdateResult::kBadRegion, "bad-region"},
+      {UpdateResult::kIncompatible, "incompatible"},
+      {UpdateResult::kImageMismatch, "image-mismatch"},
+      {UpdateResult::kInterrupted, "interrupted"},
+  };
+  std::set<std::string_view> seen;
+  for (const auto& [result, name] : expected) {
+    EXPECT_EQ(update_result_name(result), name);
+    EXPECT_NE(name, "?");
+    seen.insert(update_result_name(result));
+  }
+  EXPECT_EQ(seen.size(), expected.size());  // names are distinct
+}
+
+TEST(UpdateNames, UpdateStatusNameCoversEveryEnumerator) {
+  const std::vector<std::pair<casu::UpdateStatus, std::string_view>> expected =
+      {
+          {casu::UpdateStatus::kApplied, "applied"},
+          {casu::UpdateStatus::kBadMac, "bad-mac"},
+          {casu::UpdateStatus::kRollback, "rollback"},
+          {casu::UpdateStatus::kBadRegion, "bad-region"},
+          {casu::UpdateStatus::kInterrupted, "interrupted"},
+      };
+  std::set<std::string_view> seen;
+  for (const auto& [status, name] : expected) {
+    EXPECT_EQ(casu::update_status_name(status), name);
+    seen.insert(casu::update_status_name(status));
+  }
+  EXPECT_EQ(seen.size(), expected.size());
+}
+
+TEST(UpdateNames, ChunkAckNameCoversEveryEnumerator) {
+  const std::vector<std::pair<casu::ChunkAck, std::string_view>> expected = {
+      {casu::ChunkAck::kAccepted, "accepted"},
+      {casu::ChunkAck::kComplete, "complete"},
+      {casu::ChunkAck::kDuplicate, "duplicate"},
+      {casu::ChunkAck::kCorrupt, "corrupt"},
+      {casu::ChunkAck::kMalformed, "malformed"},
+  };
+  std::set<std::string_view> seen;
+  for (const auto& [ack, name] : expected) {
+    EXPECT_EQ(casu::chunk_ack_name(ack), name);
+    seen.insert(casu::chunk_ack_name(ack));
+  }
+  EXPECT_EQ(seen.size(), expected.size());
+}
+
+// Host-API misuse contract: a zero chunk size is a configuration
+// error, not a silent one-empty-chunk transfer.
+TEST(UpdateNames, ZeroChunkSizeThrows) {
+  casu::UpdatePackage package;
+  package.version = 1;
+  package.regions.push_back({0xE000, {0x01, 0x02, 0x03}});
+  EXPECT_THROW(casu::chunk_package(package, 0), ConfigError);
+}
+
+// ----------------------------------------------- tamper x chunking property
+
+std::string firmware(int generation) {
+  std::string s = R"(.equ UART_TX, 0x0130
+.org 0xE000
+main:
+    mov #0x1000, r1
+)";
+  for (int i = 0; i < generation + 1; ++i) s += "    call #emit\n";
+  s += R"(halt:
+    jmp halt
+emit:
+    mov.b #')";
+  s += static_cast<char>('0' + generation);
+  s += R"(', &UART_TX
+    ret
+.vector 15, main
+.end
+)";
+  return s;
+}
+
+std::string device_id(size_t i) {
+  std::string n = std::to_string(i);
+  return "dev-" + std::string(n.size() < 2 ? 2 - n.size() : 0, '0') + n;
+}
+
+// Deterministic per-device tamper decision, recomputable by the test:
+// roughly a third of the fleet gets one payload byte of its package
+// flipped in transit (the MAC is left alone, so the forgery is
+// detectable).
+bool is_tampered(uint64_t seed, const std::string& id) {
+  return common::SeededRng::keyed(seed, "tamper:" + id).chance(1, 3);
+}
+
+class TamperChunkingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TamperChunkingProperty, TamperComposesWithChunkingPooledEqualsSerial) {
+  const uint64_t seed = GetParam();
+  common::SeededRng rng(seed);
+  const size_t devices = static_cast<size_t>(rng.range(4, 10));
+  const size_t chunk_size = static_cast<size_t>(rng.range(1, 6)) * 8;
+
+  CampaignOptions options;
+  options.tamper = [seed](const DeviceSession& dev,
+                          casu::UpdatePackage& package) {
+    if (!is_tampered(seed, dev.id())) return;
+    common::SeededRng r =
+        common::SeededRng::keyed(seed, "flip:" + dev.id());
+    casu::UpdateRegion& region =
+        package.regions[r.below(package.regions.size())];
+    region.payload[r.below(region.payload.size())] ^=
+        static_cast<uint8_t>(1u << r.below(8));
+  };
+  TransportOptions transport;
+  transport.chunk_size = chunk_size;
+  transport.seed = seed;
+  transport.max_rounds = 64;
+  transport.faults = {.drop_per_mille = 100,
+                      .corrupt_per_mille = 60,
+                      .duplicate_per_mille = 50,
+                      .reorder_per_mille = 80,
+                      .delay_per_mille = 40};
+  options.transport = transport;
+
+  auto run = [&](common::ThreadPool* pool) {
+    Fleet fleet;
+    for (size_t i = 0; i < devices; ++i) {
+      DeviceSession& dev =
+          fleet.provision(device_id(i), firmware(0), "fw",
+                          EnforcementPolicy::kCfaBaseline,
+                          {.cfa = {.log_capacity = 65536}});
+      dev.run_to_symbol("halt", 100000);
+    }
+    UpdateCampaign campaign =
+        fleet.stage_update(firmware(1), "fw", {.eilid = false}, options);
+    return pool ? campaign.roll_out(*pool) : campaign.roll_out();
+  };
+
+  const std::vector<UpdateOutcome> serial = run(nullptr);
+  common::ThreadPool pool(6);
+  const std::vector<UpdateOutcome> pooled = run(&pool);
+
+  ASSERT_EQ(serial.size(), devices);
+  ASSERT_EQ(pooled.size(), devices);
+  for (size_t i = 0; i < devices; ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "seed " << seed << " " << device_id(i);
+    // Tampering any part of the package makes the reassembled bytes
+    // fail authentication -- chunking never launders a forgery.
+    const UpdateResult expected = is_tampered(seed, device_id(i))
+                                      ? UpdateResult::kBadMac
+                                      : UpdateResult::kApplied;
+    EXPECT_EQ(serial[i].result, expected)
+        << "seed " << seed << " " << device_id(i);
+    EXPECT_EQ(serial[i].version_after,
+              expected == UpdateResult::kApplied ? 1u : 0u);
+  }
+}
+
+// A tampered device heals by reset: power-cycle clears the latch and a
+// clean re-delivery applies from scratch.
+TEST(TamperChunkingHeals, TamperedDeviceHealsByResetThenApplies) {
+  Fleet fleet;
+  DeviceSession& dev =
+      fleet.provision(device_id(0), firmware(0), "fw",
+                      EnforcementPolicy::kCfaBaseline,
+                      {.cfa = {.log_capacity = 65536}});
+  dev.run_to_symbol("halt", 100000);
+
+  CampaignOptions tampered;
+  tampered.tamper = [](const DeviceSession&, casu::UpdatePackage& package) {
+    package.regions[0].payload[0] ^= 0x80;
+  };
+  tampered.transport = TransportOptions{.chunk_size = 24};
+  ASSERT_EQ(fleet.stage_update(firmware(1), "fw", {.eilid = false}, tampered)
+                .apply_to(dev)
+                .result,
+            UpdateResult::kBadMac);
+  EXPECT_EQ(dev.firmware_version(), 0u);
+
+  dev.power_cycle();  // CASU heals on abuse: reset clears the latch
+  CampaignOptions clean;
+  clean.transport = TransportOptions{.chunk_size = 24};
+  const UpdateOutcome out =
+      fleet.stage_update(firmware(1), "fw", {.eilid = false}, clean)
+          .apply_to(dev);
+  EXPECT_EQ(out.result, UpdateResult::kApplied);
+  EXPECT_FALSE(out.resumed);  // the forged transfer was not resumable
+  EXPECT_EQ(dev.firmware_version(), 1u);
+  EXPECT_TRUE(fleet.verifier().attest(dev).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TamperChunkingProperty,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace eilid
