@@ -5,12 +5,21 @@ Compares a freshly emitted bench JSON (BENCH_sim_throughput.json /
 BENCH_fleet_health.json) against the committed baseline and fails when
 any speedup column regressed by more than the tolerance (default 20%).
 
-Only *speedup ratios* are compared, never absolute MIPS or verdict
-rates: a ratio (predecoded-vs-interpretive, superblock-vs-interpretive,
-pooled-vs-serial) divides out the host's raw speed, so the gate is
-meaningful on CI hardware that is faster or slower than the machine
-that produced the committed baseline. Absolute numbers stay visible in
-the uploaded artifacts for human eyes.
+Two column families are gated, in opposite directions:
+
+- ``speedup*`` ratios must not *drop* by more than the tolerance.
+  Only ratios, never absolute MIPS or verdict rates: a ratio
+  (predecoded-vs-interpretive, superblock-vs-interpretive,
+  pooled-vs-serial) divides out the host's raw speed, so the gate is
+  meaningful on CI hardware that is faster or slower than the machine
+  that produced the committed baseline. Other absolute perf numbers
+  stay visible in the uploaded artifacts for human eyes.
+- ``resident_*`` byte counts must not *grow* by more than the
+  tolerance. Unlike wall-clock numbers these ARE host-independent --
+  they count deterministic data-structure bytes (copy-on-write pages,
+  page tables, log arenas), so an absolute comparison is exact and a
+  growth regression is a real memory-diet regression
+  (bench_fleet_10k's resident_bytes_per_device).
 
 Rows are matched by identity key (``policy`` for the sim bench,
 ``threads`` for the fleet bench). A row or speedup column present in
@@ -47,6 +56,15 @@ def speedup_columns(row):
         k: v
         for k, v in row.items()
         if k.startswith("speedup") and isinstance(v, (int, float))
+    }
+
+
+def resident_columns(row):
+    """Absolute memory metrics: gated against *growth*, not loss."""
+    return {
+        k: v
+        for k, v in row.items()
+        if k.startswith("resident_") and isinstance(v, (int, float))
     }
 
 
@@ -126,13 +144,36 @@ def main():
         for col in fresh_cols.keys() - speedup_columns(base_row).keys():
             print(f"note  {rk:<24} {col:<20} new column, no baseline")
 
+        fresh_mem = resident_columns(fresh_row)
+        for col, base_val in resident_columns(base_row).items():
+            if base_val <= 0:
+                continue
+            fresh_val = fresh_mem.get(col)
+            if fresh_val is None:
+                failures.append(f"{rk}: column {col} dropped from fresh run")
+                continue
+            growth = (fresh_val - base_val) / base_val
+            verdict = "FAIL" if growth > args.tolerance else "ok"
+            print(
+                f"{verdict:>4}  {rk:<24} {col:<20} "
+                f"baseline {base_val:10.0f}B  fresh {fresh_val:10.0f}B  "
+                f"({growth:+6.1%})"
+            )
+            if growth > args.tolerance:
+                failures.append(
+                    f"{rk}: {col} grew {growth:.1%} "
+                    f"({base_val:.0f}B -> {fresh_val:.0f}B)"
+                )
+        for col in fresh_mem.keys() - resident_columns(base_row).keys():
+            print(f"note  {rk:<24} {col:<20} new column, no baseline")
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nPASS: no speedup regression beyond "
+    print("\nPASS: no speedup or resident-memory regression beyond "
           f"{args.tolerance:.0%} tolerance")
     return 0
 

@@ -2,13 +2,28 @@
 
 namespace eilid::cfa {
 
+LoggedEdge* CfaMonitor::grow_chunk() {
+  if (!free_chunks_.empty()) {
+    chunks_.push_back(std::move(free_chunks_.back()));
+    free_chunks_.pop_back();
+  } else {
+    chunks_.push_back(std::make_unique<LoggedEdge[]>(kChunkEdges));
+  }
+  return chunks_.back().get();
+}
+
 void CfaMonitor::log_edge(LoggedEdge edge) {
   ++total_edges_;
-  if (log_.size() >= config_.log_capacity) {
+  if (count_ >= config_.log_capacity) {
     ++dropped_;  // the paper's "voluminous logs" problem, made visible
     return;
   }
-  log_.push_back(edge);
+  const size_t pos = head_ + count_;
+  const size_t chunk = pos / kChunkEdges;
+  LoggedEdge* slab =
+      chunk < chunks_.size() ? chunks_[chunk].get() : grow_chunk();
+  slab[pos % kChunkEdges] = edge;
+  ++count_;
 }
 
 void CfaMonitor::on_control_transfer(uint16_t from_pc, uint16_t to_pc,
@@ -74,14 +89,39 @@ crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
   return mac.finish();
 }
 
-Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle) {
+Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle,
+                               size_t max_edges) {
   Report r;
   r.seq = seq_++;
   r.cycle = device_cycle;
+  // Overflow drops ride the first report that drains them: a bounded
+  // slice sequence reports the same total drop count as the one
+  // unbounded report would have.
   r.dropped = dropped_;
-  r.edges = std::move(log_);
-  log_.clear();
   dropped_ = 0;
+  const size_t take =
+      max_edges == 0 ? count_ : (max_edges < count_ ? max_edges : count_);
+  r.edges.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const size_t pos = head_ + i;
+    r.edges.push_back(chunks_[pos / kChunkEdges][pos % kChunkEdges]);
+  }
+  head_ += take;
+  count_ -= take;
+  // Recycle fully-drained leading chunks; a fully-drained log resets
+  // the cursor so the arena's steady state is independent of history.
+  while (head_ >= kChunkEdges) {
+    free_chunks_.push_back(std::move(chunks_.front()));
+    chunks_.erase(chunks_.begin());
+    head_ -= kChunkEdges;
+  }
+  if (count_ == 0) {
+    while (!chunks_.empty()) {
+      free_chunks_.push_back(std::move(chunks_.back()));
+      chunks_.pop_back();
+    }
+    head_ = 0;
+  }
   r.mac = mac_report(key_, nonce, r.seq, r.edges);
   return r;
 }

@@ -80,13 +80,27 @@ class CfaMonitor : public sim::Monitor {
   // without failing authentication.
   void on_update_applied();
 
-  // Verifier challenge: drain the log into a MAC'd report.
-  Report take_report(uint64_t nonce, uint64_t device_cycle);
+  // Verifier challenge: drain the log (oldest first) into a MAC'd
+  // report. `max_edges` bounds the slice -- 0 drains everything (the
+  // barrier sweep); a bounded drain leaves the remainder for the next
+  // slice, in order, so a sequence of bounded reports carries exactly
+  // the evidence one unbounded report would (ACFA-style slices sized
+  // to verifier memory; see eilid::IncrementalVerifier). Pending
+  // overflow drops are reported on the first slice that drains them.
+  Report take_report(uint64_t nonce, uint64_t device_cycle,
+                     size_t max_edges = 0);
 
-  size_t log_size() const { return log_.size(); }
+  size_t log_size() const { return count_; }
   uint64_t total_edges() const { return total_edges_; }
+  // Resident bytes of the log's storage arena (active + recycled
+  // chunks). The arena grows in chunk steps up to the configured
+  // capacity's worth of edges and is recycled -- never freed and
+  // re-grown -- across reports, so long soaks stop allocating once the
+  // high-water mark is reached. This is the CFA share of a device's
+  // resident_memory_bytes().
   uint64_t total_log_bytes() const {
-    return total_edges_ * LoggedEdge::kWireBytes;
+    return (chunks_.size() + free_chunks_.size()) * kChunkEdges *
+           sizeof(LoggedEdge);
   }
 
   static crypto::Digest mac_report(const crypto::Digest& key, uint64_t nonce,
@@ -94,11 +108,23 @@ class CfaMonitor : public sim::Monitor {
                                    const std::vector<LoggedEdge>& edges);
 
  private:
+  // Chunked FIFO arena replacing the old per-device edge vector: edges
+  // append into fixed 256-edge chunks, bounded drains consume from the
+  // front, and spent chunks recycle through a free list. No per-edge
+  // reallocation/copy as the log grows, and take_report no longer
+  // surrenders the backing storage (the old move-out re-grew the
+  // vector from scratch every attestation period).
+  static constexpr size_t kChunkEdges = 256;
+
   void log_edge(LoggedEdge edge);
+  LoggedEdge* grow_chunk();
 
   crypto::Digest key_;
   CfaConfig config_;
-  std::vector<LoggedEdge> log_;
+  std::vector<std::unique_ptr<LoggedEdge[]>> chunks_;  // live FIFO, in order
+  std::vector<std::unique_ptr<LoggedEdge[]>> free_chunks_;
+  size_t head_ = 0;   // index of the oldest live edge within chunks_[0]
+  size_t count_ = 0;  // live edges across chunks_
   uint32_t dropped_ = 0;
   uint32_t seq_ = 0;
   uint64_t total_edges_ = 0;

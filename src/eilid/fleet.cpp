@@ -96,6 +96,16 @@ bool VerifierService::stage_cfg_swap(DeviceSession& session) {
 }
 
 VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
+  return attest_with_budget(session, 0);
+}
+
+VerifierService::AttestResult VerifierService::attest_slice(
+    DeviceSession& session, size_t max_edges) {
+  return attest_with_budget(session, max_edges);
+}
+
+VerifierService::AttestResult VerifierService::attest_with_budget(
+    DeviceSession& session, size_t max_edges) {
   if (session.cfa_monitor() == nullptr) {
     // Nothing to challenge: no on-device evidence exists. Report the
     // gap instead of throwing so a sweep over a mixed-policy batch
@@ -124,11 +134,11 @@ VerifierService::AttestResult VerifierService::attest(DeviceSession& session) {
   // distinct live session aliases an enrolled id, its own log must be
   // the evidence -- replaying somebody else's would let it impersonate
   // a healthy device).
-  return attest_device(*state, session);
+  return attest_device(*state, session, max_edges);
 }
 
 VerifierService::AttestResult VerifierService::attest_device(
-    DeviceState& state, DeviceSession& session) {
+    DeviceState& state, DeviceSession& session, size_t max_edges) {
   // Per-device locking: DeviceState (replay verifier, expected_seq) is
   // guarded by its *enrolled* session's mutex, and the session being
   // drained by its own. They are the same object except when a caller
@@ -151,8 +161,9 @@ VerifierService::AttestResult VerifierService::attest_device(
 
   const uint64_t nonce =
       nonce_counter_.fetch_add(1, std::memory_order_relaxed);
-  cfa::Report report =
-      session.cfa_monitor()->take_report(nonce, session.machine().cycles());
+  cfa::Report report = session.cfa_monitor()->take_report(
+      nonce, session.machine().cycles(), max_edges);
+  out.remaining = session.cfa_monitor()->log_size();
   out.seq = report.seq;
   out.cycle = report.cycle;
   out.edges = report.edges.size();
@@ -212,7 +223,7 @@ std::vector<VerifierService::AttestResult> VerifierService::verify_all() {
   std::vector<AttestResult> out;
   out.reserve(sweep.size());
   for (DeviceState* state : sweep) {
-    out.push_back(attest_device(*state, *state->session));
+    out.push_back(attest_device(*state, *state->session, 0));
   }
   return out;
 }
@@ -225,10 +236,9 @@ std::vector<VerifierService::AttestResult> VerifierService::verify_all(
   // window are private to it.
   std::vector<DeviceState*> sweep = sweep_snapshot();
   std::vector<AttestResult> out(sweep.size());
-  pool.parallel_for(sweep.size(),
-                    [&](size_t i) {
-                      out[i] = attest_device(*sweep[i], *sweep[i]->session);
-                    });
+  pool.parallel_for(sweep.size(), [&](size_t i) {
+    out[i] = attest_device(*sweep[i], *sweep[i]->session, 0);
+  });
   return out;
 }
 

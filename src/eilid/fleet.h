@@ -100,6 +100,15 @@
 //       bit-identical to the serial run()'s. The scheduler object
 //       itself is not shared across threads -- one run at a time per
 //       scheduler.
+//     - IncrementalVerifier::run_until() (src/eilid/incremental.h):
+//       windowed attestation rounds drain bounded slices via
+//       VerifierService::attest_slice under the same per-device
+//       session locks as verify_all, so a rolling window interleaves
+//       safely with heartbeat sweeps, rollouts and workload drivers;
+//       the pooled window's folded summaries are bit-identical to the
+//       serial window's AND to a barrier verify_all over the same
+//       evidence. One run_until at a time per verifier object
+//       (summaries() may be read concurrently).
 //     - HeartbeatScheduler::run_until()/HealthMonitor::run_until():
 //       heartbeat sweeps are verify_all subset sweeps (per-device
 //       locks), so they interleave safely with a concurrent rollout;
@@ -175,6 +184,11 @@ class VerifierService {
     size_t edges = 0;
     uint32_t dropped = 0;  // evidence lost to on-device log overflow
     std::optional<cfa::LoggedEdge> first_bad;
+    // Edges still held on-device after this drain: 0 for the barrier
+    // sweep (which drains everything); a bounded attest_slice() leaves
+    // the remainder for the next slice. The incremental verifier uses
+    // this to tell a caught-up device from one mid-drain.
+    size_t remaining = 0;
 
     bool ok() const { return attested && mac_ok && seq_ok && path_ok; }
 
@@ -200,6 +214,15 @@ class VerifierService {
   // to collect -- so the result comes back with attested = false
   // (ok() false) and the session is not enrolled.
   AttestResult attest(DeviceSession& session);
+
+  // Bounded variant: drain at most `max_edges` edges (0 = everything,
+  // == attest()). Same nonce/MAC/sequence/replay semantics per report
+  // -- a sequence of slices replays exactly the evidence one barrier
+  // drain would, in order, against the same persistent replay state,
+  // so a hijack is convicted at the same edge (see
+  // eilid::IncrementalVerifier, which schedules these). Freshness
+  // bookkeeping counts every slice as an announcement.
+  AttestResult attest_slice(DeviceSession& session, size_t max_edges);
 
   // Batched sweep over every enrolled device, in enrollment-id order.
   // The overload fans the sweep out across the pool's workers with
@@ -283,7 +306,10 @@ class VerifierService {
   // `session` is the device whose log is drained -- normally
   // state.session, but attest() passes the caller's session so an
   // aliased id can never present another device's evidence.
-  AttestResult attest_device(DeviceState& state, DeviceSession& session);
+  // `max_edges` bounds the drain (0 = everything).
+  AttestResult attest_device(DeviceState& state, DeviceSession& session,
+                             size_t max_edges);
+  AttestResult attest_with_budget(DeviceSession& session, size_t max_edges);
   std::vector<DeviceState*> sweep_snapshot();
   // Validated copy of a subset in enrollment-id order (throws on null
   // pointers and duplicate ids) -- the one definition both subset

@@ -115,11 +115,20 @@ HeartbeatReport HeartbeatScheduler::run(Tick deadline,
       for (const std::string& id : beat.missed) {
         FreshnessRecord& record = records_.at(id);
         ++record.misses;
-        record.next_due += options_.period;
+        ++record.consecutive_misses;
+        // Exponential backoff (see HeartbeatOptions): the k-th
+        // consecutive miss waits period << min(k, cap). Shift clamped
+        // well below the Tick width so a pathological cap cannot
+        // overflow the schedule.
+        const uint32_t exponent = std::min(
+            {record.consecutive_misses, options_.max_backoff_exponent,
+             uint32_t{48}});
+        record.next_due += options_.period << exponent;
       }
       for (const VerifierService::AttestResult& verdict : beat.verdicts) {
         FreshnessRecord& record = records_.at(verdict.device_id);
         ++record.heartbeats;
+        record.consecutive_misses = 0;  // evidence arrived: cadence snaps back
         record.last_attested_tick = due;
         record.ever_attested = true;
         if (verdict.ok()) {
@@ -160,6 +169,7 @@ void HeartbeatScheduler::note_remediated(const std::string& device_id,
   auto it = records_.find(device_id);
   if (it == records_.end()) return;
   FreshnessRecord& record = it->second;
+  record.consecutive_misses = 0;
   record.last_attested_tick = tick;
   record.last_ok_tick = tick;
   record.ever_attested = true;

@@ -81,6 +81,18 @@ struct HeartbeatOptions {
   // fleet's devices don't all sweep on the same tick.
   Tick jitter = 0;
   uint64_t jitter_seed = 0x48b5a1f2;
+  // Exponential backoff for unreachable devices: after k consecutive
+  // missed beats the next heartbeat is scheduled period << min(k,
+  // max_backoff_exponent) ticks out (first miss doubles the wait), so
+  // a dead device costs O(log) due-beats per window instead of one per
+  // period -- at 10k devices with a few percent offline, that is the
+  // difference between the scheduler's beat loop scaling with the
+  // fleet or with its *reachable* fraction. Any evidence (a verdict,
+  // or note_remediated) snaps the cadence back to `period`. 0 disables
+  // (every miss reschedules one period out, the pre-backoff behavior).
+  // Deterministic: backoff is a pure function of the miss run, so the
+  // pooled==serial and same-seed reproducibility contracts hold.
+  uint32_t max_backoff_exponent = 0;
 };
 
 // Everything the quarantine decision may consult, per device. Owned by
@@ -94,6 +106,9 @@ struct FreshnessRecord {
   Tick last_ok_tick = 0;        // verdict last came back ok()
   uint32_t heartbeats = 0;      // beats that produced evidence
   uint32_t misses = 0;          // due beats the device was offline for
+  uint32_t consecutive_misses = 0;  // current unbroken miss run (drives
+                                    // the backoff exponent; reset by
+                                    // any evidence)
   bool ever_attested = false;
   bool ever_ok = false;
   bool convicted = false;  // most recent evidence convicted the device

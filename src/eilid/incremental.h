@@ -1,0 +1,160 @@
+// Incremental windowed attestation: drain and replay each device's CFA
+// log in bounded slices on a rolling schedule, instead of one barrier
+// verify_all() that stops the world and materializes every device's
+// full log at once. This is what makes verification *scale*: at 10k
+// devices the barrier sweep's cost (and peak memory) is proportional
+// to the whole fleet's accumulated evidence, while the windowed
+// verifier touches at most max_devices_per_tick devices per round and
+// at most max_bytes_per_slice of evidence per device -- ACFA-style log
+// slices, scheduled by fleet time.
+//
+// Verdict semantics are identical to the barrier sweep by
+// construction, not by luck:
+//
+//   - A bounded CfaMonitor::take_report drains oldest-first and leaves
+//     the remainder, so the slice sequence carries exactly the
+//     evidence one unbounded report would, in order, each slice MAC'd
+//     and sequence-numbered like any report.
+//   - The verifier's replay state persists across reports (it always
+//     has), so replaying N slices walks the same edge sequence as
+//     replaying one big report: a hijack is convicted at exactly the
+//     same edge, in whichever slice it falls. Update (epoch) markers
+//     and reset markers are ordinary logged edges and are honored
+//     mid-window exactly as mid-report.
+//   - fold() collapses a device's slice verdicts into one
+//     AttestSummary with sticky conviction; folding the barrier
+//     sweep's single verdict through the same fold yields a
+//     bit-identical summary (tests/test_fleet_scale.cpp and
+//     bench_fleet_10k gate this, serial and pooled).
+//
+// Concurrency contract: run_until(pool) fans each round's slices out
+// with the same per-device DeviceSession::mutex() locking as
+// VerifierService::verify_all, so rounds interleave safely with
+// heartbeat sweeps, rollouts and workload drivers; the pooled report
+// is bit-identical to the serial one (slices are written by round
+// index; each device's evidence and replay state are private to it).
+// Like the other schedulers, the object itself is single-driver: one
+// run_until at a time, though summaries()/summary() may be read
+// concurrently.
+#ifndef EILID_EILID_INCREMENTAL_H
+#define EILID_EILID_INCREMENTAL_H
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eilid/clock.h"
+#include "eilid/fleet.h"
+
+namespace eilid {
+
+struct IncrementalOptions {
+  // Ticks between verification rounds.
+  Tick period = 10;
+  // Devices sliced per round (0 = every watched device). The rotation
+  // cursor walks the fleet in device-id order across rounds, so every
+  // device is reached regardless of fleet size.
+  size_t max_devices_per_tick = 64;
+  // Evidence budget per slice, in wire bytes (LoggedEdge::kWireBytes
+  // per edge; 0 = unbounded, degenerating to a full drain). This is
+  // the verifier's peak per-device working set, the knob the paper's
+  // "voluminous logs" pressure pushes on.
+  size_t max_bytes_per_slice = 64 * cfa::LoggedEdge::kWireBytes;
+};
+
+// A device's attestation history folded to one verdict. Conviction is
+// sticky: the first slice that fails the path check pins path_ok and
+// first_bad forever (later slices keep draining -- evidence keeps
+// flowing, matching the barrier sweep's freshness behavior -- but
+// cannot un-convict). Meaningful after at least one fold; the ok
+// fields start true so folding is pure accumulation.
+struct AttestSummary {
+  std::string device_id;
+  bool attested = true;  // every fold carried evidence
+  bool mac_ok = true;    // no report ever failed authentication
+  bool seq_ok = true;    // no report ever arrived out of sequence
+  bool path_ok = true;   // replay never left the CFG
+  uint64_t edges = 0;    // total evidence replayed
+  uint64_t dropped = 0;  // total evidence lost to on-device overflow
+  std::optional<cfa::LoggedEdge> first_bad;  // first convicting edge
+
+  bool convicted() const { return !(attested && mac_ok && seq_ok && path_ok); }
+
+  bool operator==(const AttestSummary&) const = default;
+};
+
+// Fold one verdict (a bounded slice or a barrier sweep's full drain)
+// into a summary. The single definition both sides of the
+// barrier==windowed identity gate share.
+void fold(AttestSummary& summary, const VerifierService::AttestResult& result);
+
+class IncrementalVerifier {
+ public:
+  // One round: the slices collected at one due tick, in rotation
+  // order (the cyclic device-id walk, offline devices skipped).
+  struct Round {
+    Tick tick = 0;
+    std::vector<VerifierService::AttestResult> slices;
+
+    bool operator==(const Round&) const = default;
+  };
+
+  struct WindowReport {
+    Tick from = 0;   // clock at run_until entry
+    Tick until = 0;  // clock at return (== the requested deadline)
+    std::vector<Round> rounds;  // in tick order
+
+    bool operator==(const WindowReport&) const = default;
+  };
+
+  // Watches every CFA-capable session in the fleet's registry, like
+  // HeartbeatScheduler: devices deployed later join on the next round,
+  // decommissioned devices drop out (decommission must not race a run,
+  // per the fleet contract). Throws eilid::FleetError on period == 0.
+  explicit IncrementalVerifier(Fleet& fleet, IncrementalOptions options = {});
+
+  // Advance fleet time to `deadline`, firing a round every `period`
+  // ticks on the way: rotate to the next max_devices_per_tick online
+  // devices, drain at most max_bytes_per_slice from each
+  // (VerifierService::attest_slice -- per-device locks, freshness
+  // bookkeeping, replay state all shared with the barrier sweeps), and
+  // fold every verdict into the per-device summaries. The pooled
+  // overload returns a bit-identical report. If another scheduler
+  // advanced the clock past the pending round between calls, the
+  // cadence re-anchors at the current tick (no backlog of degenerate
+  // rounds is replayed).
+  WindowReport run_until(Tick deadline);
+  WindowReport run_until(Tick deadline, common::ThreadPool& pool);
+
+  // Folded summaries, sorted by device id / for one device
+  // (value-initialized when the rotation never reached it).
+  std::vector<AttestSummary> summaries() const;
+  AttestSummary summary(const std::string& device_id) const;
+
+  // The per-slice edge budget max_bytes_per_slice implies (0 when
+  // unbounded).
+  size_t max_edges_per_slice() const;
+
+  const IncrementalOptions& options() const { return options_; }
+
+ private:
+  WindowReport run(Tick deadline, common::ThreadPool* pool);
+
+  Fleet* fleet_;
+  IncrementalOptions options_;
+  mutable std::mutex mu_;  // guards summaries_ against concurrent readers
+  std::map<std::string, AttestSummary> summaries_;
+  // Rotation state: the id the last round stopped at (next round
+  // resumes strictly after it, wrapping), and the next due tick.
+  std::string cursor_;
+  Tick next_round_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace eilid
+
+#endif  // EILID_EILID_INCREMENTAL_H

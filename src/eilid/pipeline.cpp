@@ -52,8 +52,8 @@ namespace {
 
 // Predecode the build's code regions once, from exactly the bytes a
 // freshly flashed device holds.
-std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
-  std::vector<uint8_t> flat = flat_memory(result);
+std::shared_ptr<const isa::DecodedImage> predecode(
+    const std::vector<uint8_t>& flat) {
   const isa::DecodedImage::Range ranges[] = {
       {sim::kRomStart, sim::kRomEnd},
       {sim::kPmemStart, 0xFFFE},
@@ -63,11 +63,15 @@ std::shared_ptr<const isa::DecodedImage> predecode(const BuildResult& result) {
       std::span<const isa::DecodedImage::Range>(ranges, 2));
 }
 
-// Build both shared execution tables: the decoded image and the
-// superblock table derived from it. Done once per build; every device
-// flashed with this build shares the same two immutable tables.
+// Build every shared per-build artifact: the flat flashed snapshot
+// (the sessions' copy-on-write base), the decoded image derived from
+// it, and the superblock table derived from that. Done once per build;
+// every device flashed with this build shares the same three immutable
+// objects.
 void attach_images(BuildResult& result) {
-  result.decoded_image = predecode(result);
+  result.flat_image =
+      std::make_shared<const std::vector<uint8_t>>(flat_memory(result));
+  result.decoded_image = predecode(*result.flat_image);
   result.block_image =
       std::make_shared<const isa::BlockImage>(*result.decoded_image);
 }

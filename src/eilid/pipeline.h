@@ -58,6 +58,12 @@ struct BuildResult {
   // Machine::attach_block_image). Shares the decoded image's
   // fleet-wide build-once lifetime and invalidation rule.
   std::shared_ptr<const isa::BlockImage> block_image;
+  // The full 64 KiB flashed snapshot (== flat_memory(*this)), built
+  // once here and attached as every session's copy-on-write base image
+  // (sim::PagedMemory): N devices of one build share these bytes and
+  // privately own only the pages they dirty. Same build-once lifetime
+  // as the decode tables.
+  std::shared_ptr<const std::vector<uint8_t>> flat_image;
 
   size_t binary_size() const { return app.image.size_bytes(); }
 };

@@ -90,15 +90,19 @@ DeviceSession::DeviceSession(std::string device_id,
       machine_, hw_monitor_.get());
   machine_.set_halt_on_reset(options_.halt_on_reset);
 
-  for (const auto& chunk : build_->app.image.chunks()) {
-    machine_.load(chunk.base, chunk.data);
-  }
-  if (rom_in_build) {
-    for (const auto& chunk : build_->rom.unit.image.chunks()) {
-      machine_.load(chunk.base, chunk.data);
-    }
-  }
-  // Attach the build's shared execution tables *after* the loads (the
+  // Flash by attaching the build's shared flat image as the machine's
+  // copy-on-write base (sim::PagedMemory) instead of copying 64 KiB
+  // per device: the bytes are identical to chunk-wise loads over
+  // zeroed memory -- flat_memory() is chunks blitted over zeros -- but
+  // N sessions of one build now share one image and privately own only
+  // the pages they dirty. Builds made outside build_app may lack the
+  // cached snapshot; take the one-off copy then.
+  machine_.bus().attach_base_image(
+      build_->flat_image != nullptr
+          ? build_->flat_image
+          : std::make_shared<const std::vector<uint8_t>>(
+                core::flat_memory(*build_)));
+  // Attach the build's shared execution tables *after* the flash (the
   // attachment snapshots the bus's code generation, so it must see the
   // flashed state). Every session of this build shares the same tables.
   attach_engine_tables();
@@ -168,10 +172,28 @@ void DeviceSession::adopt_build(std::shared_ptr<const core::BuildResult> next) {
                      "': kEilidHw cannot adopt an uninstrumented build");
   }
   build_ = std::move(next);
-  // The update's stores bumped the bus code generation, so the CPU is
-  // running interpretively right now; attaching the new build's shared
-  // tables re-snapshots the generation and restores the session's
-  // configured engine -- against tables that match the new bytes.
+  // Swap the machine's copy-on-write base onto the adopted build's
+  // shared image. Content-preserving under this function's contract:
+  // pages the update materialized hold exactly the target image's
+  // bytes and shadow the base; un-owned pages held the old base, which
+  // a compatible transition only differs from inside PMEM -- where the
+  // update wrote (and so owns) every differing page. Reclaiming then
+  // drops the update-written pages whose bytes the new base already
+  // supplies, so a device's resident memory returns to near-zero after
+  // a campaign instead of accreting one dirtied PMEM copy per update.
+  // reflash() also restores against the adopted image from here on.
+  sim::Bus& bus = machine_.bus();
+  bus.attach_base_image(build_->flat_image != nullptr
+                            ? build_->flat_image
+                            : std::make_shared<const std::vector<uint8_t>>(
+                                  core::flat_memory(*build_)));
+  bus.reclaim_identical_pages(sim::kRomStart, sim::kRomEnd);
+  bus.reclaim_identical_pages(sim::kPmemStart, 0xFFFF);
+  // The update's stores bumped the bus code generation (as does the
+  // base swap), so the CPU is running interpretively right now;
+  // attaching the new build's shared tables re-snapshots the
+  // generation and restores the session's configured engine -- against
+  // tables that match the new bytes.
   attach_engine_tables();
 }
 
@@ -181,26 +203,28 @@ std::string DeviceSession::last_reset_reason() const {
 }
 
 void DeviceSession::reflash() {
-  // Restore the *entire* code ranges from the recorded build's flat
-  // snapshot -- the same core::flat_memory() the update engine's
-  // kImageMismatch scan compares against -- not just the image's
-  // chunks: a rogue patch may have landed in PMEM the build never
-  // occupied, and those bytes must go back to the flash default too or
-  // the device stays diverged. The stores land at/above the code floor
-  // and bump the bus's code generation; re-attaching the build's
+  // Restore the *entire* code ranges to the recorded build's flat
+  // snapshot -- the copy-on-write base the session was flashed from,
+  // the same bytes the update engine's kImageMismatch scan compares
+  // against -- not just the image's chunks: a rogue patch may have
+  // landed in PMEM the build never occupied, and those bytes must go
+  // back to the flash default too or the device stays diverged. A
+  // page-map reset, not a 64 KiB copy: every dirtied code page is
+  // recycled and the range reads the shared image again. The reset
+  // counts as a code store (generation bump); re-attaching the build's
   // shared table afterwards re-snapshots the generation, so the
   // restored device decodes from the build-time table again instead of
   // falling back to interpretive decode.
-  const std::vector<uint8_t> flat = core::flat_memory(*build_);
-  const std::pair<size_t, size_t> code_ranges[] = {
-      {sim::kRomStart, sim::kRomEnd}, {sim::kPmemStart, 0xFFFF}};
-  for (const auto& [first, last] : code_ranges) {
-    machine_.load(static_cast<uint16_t>(first),
-                  std::span<const uint8_t>(flat.data() + first,
-                                           last - first + 1));
-  }
+  machine_.bus().reset_range_to_base(sim::kRomStart, sim::kRomEnd);
+  machine_.bus().reset_range_to_base(sim::kPmemStart, 0xFFFF);
   attach_engine_tables();
   power_cycle();
+}
+
+size_t DeviceSession::resident_memory_bytes() const {
+  size_t bytes = machine_.bus().resident_memory_bytes();
+  if (cfa_monitor_ != nullptr) bytes += cfa_monitor_->total_log_bytes();
+  return bytes;
 }
 
 void DeviceSession::power_cycle() {

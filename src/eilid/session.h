@@ -5,6 +5,18 @@
 // (CASU-only baseline) and CfaMonitor (attestation baseline) behind a
 // single policy switch, so examples/benches/tests compare devices by
 // changing one enum instead of re-plumbing monitors.
+//
+// Memory model (the fleet-at-10k diet): a session does not own a flat
+// 64KiB image. Its bus is backed by sim::PagedMemory -- 256-byte pages
+// copy-on-write over the build's shared immutable flat image
+// (core::BuildResult::flat_image), materialized lazily on first write.
+// reflash() and adopt_build() are page-map resets against the (new)
+// base image rather than 64KiB copies, wipe_volatile() zero-fills by
+// page, and resident_memory_bytes() reports only the pages this device
+// actually dirtied plus its CFA log arena -- so 10k sessions of one
+// build cost near one shared image, not 10k copies. Reads/writes keep
+// their inline fast paths and the three execution engines stay
+// bit-identical over paged memory (tests/test_fleet_scale.cpp).
 #ifndef EILID_EILID_SESSION_H
 #define EILID_EILID_SESSION_H
 
@@ -195,6 +207,14 @@ class DeviceSession {
   void set_online(bool online) {
     online_.store(online, std::memory_order_release);
   }
+
+  // Private memory this device costs beyond its build's shared
+  // artifacts: the machine's materialized copy-on-write pages and page
+  // tables (sim::PagedMemory) plus the CFA monitor's resident log
+  // arena. The bench_fleet_10k per-device gate reads this; the shared
+  // flat image, decode tables and CFG are counted once per build, not
+  // here.
+  size_t resident_memory_bytes() const;
 
   // Per-device lock for fleet-level concurrency. A session is itself
   // single-threaded; when several fleet actors may touch the same

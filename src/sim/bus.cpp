@@ -88,14 +88,10 @@ void Bus::periph_write(uint16_t addr, uint16_t value) {
 
 void Bus::raw_store_bytes(uint16_t addr, std::span<const uint8_t> bytes) {
   if (bytes.empty()) return;
+  mem_.store_bytes(addr, bytes.data(), bytes.size());
   const size_t until_top = static_cast<size_t>(0x10000 - addr);
-  const size_t head = std::min(bytes.size(), until_top);
-  std::memcpy(mem_.data() + addr, bytes.data(), head);
-  if (head < bytes.size()) {  // wrap through address 0, as the old loop did
-    std::memcpy(mem_.data(), bytes.data() + head, bytes.size() - head);
-  }
   const uint32_t last = addr + static_cast<uint32_t>(bytes.size()) - 1;
-  if (last >= kRomStart || head < bytes.size()) ++code_generation_;
+  if (last >= kRomStart || bytes.size() > until_top) ++code_generation_;
 }
 
 int Bus::compute_pending_irq() const {
@@ -125,8 +121,8 @@ void Bus::reset_peripherals() {
 }
 
 void Bus::wipe_volatile() {
-  std::fill(mem_.begin() + kRamStart, mem_.begin() + kRamEnd + 1, 0);
-  std::fill(mem_.begin() + kSecureRamStart, mem_.begin() + kSecureRamEnd + 1, 0);
+  mem_.zero_range(kRamStart, kRamEnd);
+  mem_.zero_range(kSecureRamStart, kSecureRamEnd);
 }
 
 }  // namespace eilid::sim

@@ -18,10 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sim/memory_map.h"
+#include "sim/paged_memory.h"
 
 namespace eilid::sim {
 
@@ -106,7 +108,7 @@ class Bus {
   uint8_t read_byte(uint16_t addr, uint16_t pc) {
     if (!watchers_.empty() && !check_read(addr, pc)) return 0xFF;
     if (is_periph(addr)) return periph_read_byte(addr);
-    return mem_[addr];
+    return mem_.read(addr);
   }
   void write_word(uint16_t addr, uint16_t value, uint16_t pc) {
     addr &= 0xFFFE;
@@ -118,8 +120,7 @@ class Bus {
       return;
     }
     note_code_store(addr);
-    mem_[addr] = static_cast<uint8_t>(value);
-    mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+    mem_.write_word(addr, value);
   }
   void write_byte(uint16_t addr, uint8_t value, uint16_t pc) {
     if (!watchers_.empty() && !check_write(addr, value, /*byte=*/true, pc)) {
@@ -130,7 +131,7 @@ class Bus {
       return;
     }
     note_code_store(addr);
-    mem_[addr] = value;
+    mem_.write(addr, value);
   }
 
   // Instruction-fetch notification; false if a watcher denied it.
@@ -144,20 +145,17 @@ class Bus {
   // --- Raw accesses (image loading, decode, host inspection). ---
   // No watchers, no peripherals: backing memory only.
   uint16_t raw_word(uint16_t addr) const {
-    addr &= 0xFFFE;
-    return static_cast<uint16_t>(
-        mem_[addr] | (static_cast<uint16_t>(mem_[addr + 1]) << 8));
+    return mem_.read_word(addr & 0xFFFE);
   }
-  uint8_t raw_byte(uint16_t addr) const { return mem_[addr]; }
+  uint8_t raw_byte(uint16_t addr) const { return mem_.read(addr); }
   void raw_store_word(uint16_t addr, uint16_t value) {
     addr &= 0xFFFE;
     note_code_store(addr);
-    mem_[addr] = static_cast<uint8_t>(value);
-    mem_[addr + 1] = static_cast<uint8_t>(value >> 8);
+    mem_.write_word(addr, value);
   }
   void raw_store_byte(uint16_t addr, uint8_t value) {
     note_code_store(addr);
-    mem_[addr] = value;
+    mem_.write(addr, value);
   }
   // Bulk image load (wraps at the top of the address space like the
   // byte-at-a-time loop it replaces).
@@ -246,8 +244,42 @@ class Bus {
   }
 
   // Zero RAM and secure RAM (CASU reset wipes volatile state; PMEM and
-  // ROM persist).
+  // ROM persist). A page-map edit, not a fill: wiped pages read the
+  // shared zero page until the next store re-materializes them.
   void wipe_volatile();
+
+  // --- copy-on-write base image (fleet memory diet) -----------------
+  // Attach (or swap) the immutable flat image this device's memory is
+  // a copy-on-write overlay of -- every page the device never wrote
+  // reads the shared image directly, so N sessions of one build cost
+  // one image plus their private dirty pages. Owned pages keep their
+  // bytes across a swap. Conservatively bumps the code generation:
+  // callers re-attach decode tables afterwards (DeviceSession does).
+  void attach_base_image(std::shared_ptr<const std::vector<uint8_t>> base) {
+    mem_.attach_base(std::move(base));
+    ++code_generation_;
+  }
+  const std::shared_ptr<const std::vector<uint8_t>>& base_image() const {
+    return mem_.base();
+  }
+  // Restore [first, last] to the attached base image (reflash): full
+  // pages are pointer resets, owned pages are recycled. Counts as a
+  // code store when the range reaches the code floor.
+  void reset_range_to_base(uint16_t first, uint16_t last) {
+    mem_.reset_range_to_base(first, last);
+    if (last >= kRomStart) ++code_generation_;
+  }
+  // Drop owned pages in [first, last] whose bytes already equal the
+  // base -- content-preserving, so the code generation is untouched.
+  // Called after a base swap to return update-written pages to shared.
+  void reclaim_identical_pages(uint16_t first, uint16_t last) {
+    mem_.reclaim_identical(first, last);
+  }
+  // Private memory this device holds beyond the shared image --
+  // materialized pages plus page tables (bench_fleet_10k's per-device
+  // gate reads this).
+  size_t resident_memory_bytes() const { return mem_.resident_bytes(); }
+  size_t owned_pages() const { return mem_.owned_pages(); }
 
  private:
   Peripheral* peripheral_at(uint16_t addr) const {
@@ -267,7 +299,7 @@ class Bus {
     if (addr >= kRomStart) ++code_generation_;
   }
 
-  std::array<uint8_t, 0x10000> mem_{};
+  PagedMemory mem_;
   std::vector<BusWatcher*> watchers_;
   std::vector<Peripheral*> peripherals_;
   std::array<Peripheral*, kPeriphEnd + 1> periph_map_{};

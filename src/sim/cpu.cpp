@@ -421,11 +421,13 @@ BlockRun Cpu::run_block(uint16_t breakpoint_pc, uint64_t cycle_budget,
   uint16_t pc = regs_[isa::kPC];
   const isa::BlockImage::Entry* block = nullptr;
   const isa::DecodedImage::Entry* entry = nullptr;
+  const EngineRange* range = nullptr;
   for (const EngineRange& r : engine_ranges_) {
     if (pc >= r.first && pc <= r.last) {
       const size_t slot = static_cast<size_t>(pc - r.first) >> 1;
       block = r.blocks + slot;
       entry = r.decoded + slot;
+      range = &r;
       break;
     }
   }
@@ -513,12 +515,26 @@ BlockRun Cpu::run_block(uint16_t breakpoint_pc, uint64_t cycle_budget,
       if (pc == breakpoint_pc) break;
       if (cpu_off()) break;
       block = nullptr;
-      for (const EngineRange& r : engine_ranges_) {
-        if (pc >= r.first && pc <= r.last) {
-          const size_t slot = static_cast<size_t>(pc - r.first) >> 1;
-          block = r.blocks + slot;
-          entry = r.decoded + slot;
-          break;
+      // Chained transfers overwhelmingly land in the range they left:
+      // a taken direct jump's static target (BlockImage::Entry::target)
+      // lives in the same contiguous flash range as the branch, as do
+      // call/ret targets in single-range images. Re-probe the cached
+      // range first and fall back to the linear scan only on a genuine
+      // cross-range transfer, so the hot chain path costs one bounds
+      // compare instead of a walk over every range.
+      if (pc >= range->first && pc <= range->last) {
+        const size_t slot = static_cast<size_t>(pc - range->first) >> 1;
+        block = range->blocks + slot;
+        entry = range->decoded + slot;
+      } else {
+        for (const EngineRange& r : engine_ranges_) {
+          if (pc >= r.first && pc <= r.last) {
+            const size_t slot = static_cast<size_t>(pc - r.first) >> 1;
+            block = r.blocks + slot;
+            entry = r.decoded + slot;
+            range = &r;
+            break;
+          }
         }
       }
       if (block == nullptr || block->span == 0) break;

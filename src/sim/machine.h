@@ -35,6 +35,7 @@ class Machine {
   explicit Machine(double clock_hz = 8e6);
 
   Bus& bus() { return bus_; }
+  const Bus& bus() const { return bus_; }
   Cpu& cpu() { return cpu_; }
   TimerA& timer() { return timer_; }
   Adc& adc() { return adc_; }
