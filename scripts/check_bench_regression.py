@@ -167,6 +167,17 @@ def main():
         for col in fresh_mem.keys() - resident_columns(base_row).keys():
             print(f"note  {rk:<24} {col:<20} new column, no baseline")
 
+    # Rows the fresh run has but the baseline lacks are not a failure
+    # (a new measurement is arriving, the mirror of the new-column
+    # case) -- but they must not pass *silently*, or the new rows never
+    # get committed as baselines and stay ungated forever.
+    baseline_rows = rows_of(baseline)
+    for rk in sorted(fresh_rows.keys() - baseline_rows.keys()):
+        print(
+            f"note  {rk:<24} new row, no baseline -- "
+            "commit the fresh JSON to gate it"
+        )
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance:")

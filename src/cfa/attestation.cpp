@@ -56,16 +56,28 @@ void CfaMonitor::on_update_applied() {
 }
 
 crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
-                                      uint32_t seq,
-                                      const std::vector<LoggedEdge>& edges) {
+                                      const Report& report) {
   // Stream the report through an incremental HMAC instead of
-  // materializing a nonce|seq|edges byte vector: a drained 2^17-edge
+  // materializing a header|edges byte vector: a drained 2^17-edge
   // log would otherwise allocate ~640 KB per report just to hash it.
+  //
+  // The header authenticates *every* field the verifier consumes:
+  // nonce (8) | seq (4) | cycle (8) | dropped (4), little-endian.
+  // Found by the scenario fuzzer (tests/test_fuzz_regressions.cpp):
+  // the original header stopped at seq, so a man-in-the-middle could
+  // bump cycle (backdating when evidence was emitted) or zero dropped
+  // (hiding log overflow) without failing authentication.
   crypto::HmacSha256 mac(std::span<const uint8_t>(key.data(), key.size()));
-  uint8_t header[12];
+  uint8_t header[24];
   for (int i = 0; i < 8; ++i) header[i] = static_cast<uint8_t>(nonce >> (8 * i));
   for (int i = 0; i < 4; ++i) {
-    header[8 + i] = static_cast<uint8_t>(seq >> (8 * i));
+    header[8 + i] = static_cast<uint8_t>(report.seq >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    header[12 + i] = static_cast<uint8_t>(report.cycle >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    header[20 + i] = static_cast<uint8_t>(report.dropped >> (8 * i));
   }
   mac.update(std::span<const uint8_t>(header, sizeof(header)));
   // Batch edge records through a block-sized buffer so Sha256::update
@@ -73,7 +85,7 @@ crypto::Digest CfaMonitor::mac_report(const crypto::Digest& key, uint64_t nonce,
   // the SHA-256 block size for the current 5-byte record.
   uint8_t buf[64 * LoggedEdge::kWireBytes];
   size_t fill = 0;
-  for (const auto& e : edges) {
+  for (const auto& e : report.edges) {
     buf[fill++] = static_cast<uint8_t>(e.from);
     buf[fill++] = static_cast<uint8_t>(e.from >> 8);
     buf[fill++] = static_cast<uint8_t>(e.to);
@@ -122,7 +134,7 @@ Report CfaMonitor::take_report(uint64_t nonce, uint64_t device_cycle,
     }
     head_ = 0;
   }
-  r.mac = mac_report(key_, nonce, r.seq, r.edges);
+  r.mac = mac_report(key_, nonce, r);
   return r;
 }
 
@@ -180,8 +192,7 @@ bool CfaVerifier::replay_edge(const LoggedEdge& edge) {
 
 CfaVerifier::Result CfaVerifier::verify(const Report& report, uint64_t nonce) {
   Result result;
-  crypto::Digest expected =
-      CfaMonitor::mac_report(key_, nonce, report.seq, report.edges);
+  crypto::Digest expected = CfaMonitor::mac_report(key_, nonce, report);
   result.mac_ok = crypto::digest_equal(expected, report.mac);
   if (!result.mac_ok) return result;
 

@@ -103,9 +103,13 @@ class CfaMonitor : public sim::Monitor {
            sizeof(LoggedEdge);
   }
 
+  // MAC over the challenge nonce, every header field the verifier
+  // consumes (seq, cycle, dropped) and the edge records. `report.mac`
+  // itself is not an input. Covering cycle/dropped matters: an
+  // attacker who can rewrite either in transit could backdate
+  // evidence or hide log overflow without touching the edge stream.
   static crypto::Digest mac_report(const crypto::Digest& key, uint64_t nonce,
-                                   uint32_t seq,
-                                   const std::vector<LoggedEdge>& edges);
+                                   const Report& report);
 
  private:
   // Chunked FIFO arena replacing the old per-device edge vector: edges

@@ -8,7 +8,10 @@
 #define EILID_COMMON_RNG_H
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+
+#include "common/error.h"
 
 namespace eilid::common {
 
@@ -37,12 +40,27 @@ class SeededRng {
     return z ^ (z >> 31);
   }
 
-  // Uniform in [0, bound). bound must be > 0.
-  uint64_t below(uint64_t bound) { return next() % bound; }
+  // Uniform in [0, bound). bound must be > 0: an empty interval has no
+  // sample to draw, and `next() % 0` is undefined behavior -- checked
+  // here instead of left to the hardware, because every caller that
+  // computes its bound (a range width, a container size) hits this
+  // with exactly 0 on the empty edge case.
+  uint64_t below(uint64_t bound) {
+    if (bound == 0) throw ConfigError("SeededRng::below: bound must be > 0");
+    return next() % bound;
+  }
 
-  // Uniform in [lo, hi] inclusive.
+  // Uniform in [lo, hi] inclusive. hi must be >= lo (an empty interval
+  // would otherwise feed below() a zero -- or, worse, a huge wrapped --
+  // width).
   int range(int lo, int hi) {
-    return lo + static_cast<int>(below(static_cast<uint64_t>(hi - lo + 1)));
+    if (hi < lo) {
+      throw ConfigError("SeededRng::range: empty interval [" +
+                        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    const uint64_t width =
+        static_cast<uint64_t>(static_cast<int64_t>(hi) - lo) + 1;
+    return lo + static_cast<int>(below(width));
   }
 
   uint16_t u16() { return static_cast<uint16_t>(next()); }

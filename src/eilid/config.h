@@ -87,7 +87,10 @@ struct InstrumentConfig {
   // false: the paper's numeric addresses from the previous iteration's
   // .lst, requiring the three-iteration build of Fig. 2.
   bool label_mode = false;
-  // Wrap app instructions that *write* r5 with push/pop (paper §V).
+  // Rewrite app instructions that *write* r5 to target a scratch
+  // register instead (paper §V); the application value does not
+  // survive, and r5 stays valid at every instruction boundary so an
+  // interrupt can never observe a clobbered shadow index.
   bool spill_reserved = true;
   // Mirrors RomConfig::memory_backed_index (set by the pipeline): when
   // the shadow index lives in r5, app writes to r5 must be spilled.

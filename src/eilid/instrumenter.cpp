@@ -1,5 +1,6 @@
 #include "eilid/instrumenter.h"
 
+#include <cctype>
 #include <optional>
 #include <set>
 
@@ -82,6 +83,52 @@ bool writes_reg(const masm::Statement& expanded, uint8_t reg) {
   // call writes PC/SP only; push writes memory.
   if (m == "call" || m == "push" || m == "reti") return false;
   return true;
+}
+
+// A free scratch register for the reserved-register rewrite: any of
+// r8-r15 the instruction does not reference (an instruction names at
+// most two registers, so one always exists).
+int pick_scratch_reg(const masm::Statement& stmt) {
+  using K = masm::OperandExpr::Kind;
+  bool used[16] = {};
+  for (const auto& op : stmt.operands) {
+    if (op.kind == K::kReg || op.kind == K::kIndirect ||
+        op.kind == K::kIndirectInc || op.kind == K::kIndexed) {
+      used[op.reg & 0xF] = true;
+    }
+  }
+  for (int r = 15; r >= 8; --r) {
+    if (!used[r]) return r;
+  }
+  return -1;
+}
+
+// Replace whole-token occurrences of register `from` (e.g. "r5") in an
+// instruction's text with `to`. Token boundaries keep symbols like
+// "var5" and registers like "r15" intact.
+std::string substitute_reg_token(const std::string& text,
+                                 const std::string& from,
+                                 const std::string& to) {
+  auto word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    const bool starts = text.compare(i, from.size(), from) == 0 ||
+                        (std::tolower(static_cast<unsigned char>(text[i])) ==
+                             from[0] &&
+                         text.compare(i + 1, from.size() - 1,
+                                      from.substr(1)) == 0);
+    if (starts && (i == 0 || !word(text[i - 1])) &&
+        (i + from.size() >= text.size() || !word(text[i + from.size()]))) {
+      out += to;
+      i += from.size();
+    } else {
+      out += text[i++];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -308,7 +355,18 @@ InstrumentResult Instrumenter::instrument(
     }
 
     // Reserved-register spill (paper §V): the shadow index r5 must
-    // survive application writes when it is register-backed.
+    // survive application writes when it is register-backed. The
+    // rewrite must leave r5 intact at EVERY instruction boundary, not
+    // just after the site: the original push r5 / insn / pop r5
+    // sandwich had a one-instruction window where r5 held the
+    // application's value, and an interrupt landing there made the
+    // instrumented ISR prologue index the shadow stack with garbage —
+    // convicting a benign program (found by the scenario fuzzer, seed
+    // 0x17b; tests/test_fuzz_regressions.cpp pins it). Instead the
+    // instruction is re-targeted at a scratch register seeded with
+    // r5's value: reads see the same value the sandwich produced
+    // (the index), the discarded-by-design write lands in the
+    // scratch, and r5 is never written at all.
     bool spill_r5 = false;
     if (config_.index_in_register) {
       masm::Statement expanded = stmt;
@@ -321,8 +379,9 @@ InstrumentResult Instrumenter::instrument(
           ++result.sites.spills;
           result.warnings.push_back(
               "line " + std::to_string(stmt.line_no) +
-              ": application writes reserved r5; wrapped with push/pop "
-              "(the application value does not survive)");
+              ": application writes reserved r5; re-targeted at a "
+              "scratch register (the application value does not "
+              "survive)");
         } else {
           result.warnings.push_back(
               "line " + std::to_string(stmt.line_no) +
@@ -331,9 +390,21 @@ InstrumentResult Instrumenter::instrument(
       }
     }
 
-    if (spill_r5) out.push_back("    push r5");
-    out.push_back("    " + insn_text);
-    if (spill_r5) out.push_back("    pop r5");
+    if (spill_r5) {
+      const int scratch = pick_scratch_reg(stmt);
+      if (scratch < 0) {
+        throw InstrumentError("line " + std::to_string(stmt.line_no) +
+                              ": no free scratch register for reserved-r5 "
+                              "rewrite");
+      }
+      const std::string rs = "r" + std::to_string(scratch);
+      out.push_back("    push " + rs);
+      out.push_back("    mov r5, " + rs);
+      out.push_back("    " + substitute_reg_token(insn_text, "r5", rs));
+      out.push_back("    pop " + rs);
+    } else {
+      out.push_back("    " + insn_text);
+    }
 
     if (emitted_ra_site && config_.label_mode) {
       out.push_back("__eilid_ra_" + std::to_string(ra_label_counter) + ":");

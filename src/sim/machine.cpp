@@ -100,12 +100,23 @@ bool Machine::step_once() {
   }
 
   if (cpu_.cpu_off()) {
-    // Low-power mode: burn time until a peripheral raises an interrupt.
-    if (bus_.pending_irq() >= 0) return true;  // will dispatch next step
+    // Low-power mode: burn time until a *deliverable* interrupt wakes
+    // the core. The wake test must match the dispatch test above
+    // exactly: a line that is pending but cannot be dispatched (GIE
+    // clear, or a monitor defers it) is a terminal sleep on real
+    // hardware, and only the caller's cycle budget bounds it here.
+    // Found by the scenario fuzzer (mutation seed 53): a diverted jump
+    // landed on bytes decoding to an SR write with CPUOFF set and GIE
+    // clear while the timer line was pending, and the old early-return
+    // (`pending_irq() >= 0` alone) spun forever without advancing
+    // cycles -- a host livelock no budget could end.
+    if (bus_.pending_irq() >= 0 && cpu_.gie() &&
+        interrupts_allowed(cpu_.pc())) {
+      return true;  // will dispatch next step
+    }
     uint64_t idle_chunk = 16;
     cycles_ += idle_chunk;
     bus_.tick_peripherals(idle_chunk);
-    // Idle forever? The caller's cycle budget bounds this loop.
     return true;
   }
 
